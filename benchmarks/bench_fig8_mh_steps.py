@@ -1,0 +1,59 @@
+"""Fig. 8: impact of the number of MH steps M on WarpLDA's convergence.
+
+The paper sweeps M in {1, 2, 4, 8, 16} on NYTimes and finds that larger M
+converges faster per iteration (less bias from the finite-length chain), with
+small M (1-4) already sufficient.  This benchmark regenerates the log
+likelihood vs iteration series for the same sweep.
+
+Shape to reproduce: curves are ordered by M in the early iterations (larger M
+at least as good), and the gap between M=4 and M=16 is small by the end.
+"""
+
+from repro.core import WarpLDA
+from repro.corpus import load_preset
+from repro.evaluation import ConvergenceTracker
+from repro.report import format_series
+
+M_VALUES = [1, 2, 4, 8, 16]
+NUM_ITERATIONS = 25
+NUM_TOPICS = 50
+
+
+def run_sweep():
+    corpus = load_preset("nytimes_like", scale=0.15, rng=0)
+    trackers = {}
+    for num_mh_steps in M_VALUES:
+        tracker = ConvergenceTracker(f"M={num_mh_steps}")
+        WarpLDA(
+            corpus, num_topics=NUM_TOPICS, num_mh_steps=num_mh_steps, seed=0
+        ).fit(NUM_ITERATIONS, tracker=tracker)
+        trackers[f"M={num_mh_steps}"] = tracker
+    return trackers
+
+
+def test_fig8_mh_step_sweep(benchmark, emit):
+    trackers = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    emit(
+        "fig8_mh_steps",
+        format_series(
+            {label: tracker.log_likelihoods for label, tracker in trackers.items()},
+            x_label="iteration",
+            x_values=list(range(1, NUM_ITERATIONS + 1)),
+            title="Fig. 8: WarpLDA log likelihood by iteration for different M",
+        ),
+    )
+
+    # Early-iteration ordering: more proposals mix at least as fast.
+    early = 5
+    early_values = {
+        label: tracker.log_likelihoods[early - 1] for label, tracker in trackers.items()
+    }
+    assert early_values["M=16"] >= early_values["M=1"]
+    assert early_values["M=4"] >= early_values["M=1"]
+
+    # Diminishing returns: by the final iteration M=4 is within a few percent
+    # of M=16 (the paper sticks with M in {1, 2, 4}).
+    final_m4 = trackers["M=4"].final_log_likelihood
+    final_m16 = trackers["M=16"].final_log_likelihood
+    assert abs(final_m4 - final_m16) / abs(final_m16) < 0.05

@@ -1,0 +1,28 @@
+"""Table 1: the memory-hierarchy configuration, plus simulator throughput.
+
+Regenerates the latency/size table of the Ivy Bridge hierarchy the paper
+analyses, and benchmarks the cache simulator itself (the substrate used by the
+Table 4 reproduction).
+"""
+
+import numpy as np
+
+from repro.cache import HierarchySimulator, IVY_BRIDGE_HIERARCHY
+from repro.report import format_table
+
+
+def test_table1_memory_hierarchy(benchmark, emit):
+    rows = IVY_BRIDGE_HIERARCHY.table_rows()
+    emit("table1_hierarchy", format_table(rows, title="Table 1: memory hierarchy"))
+
+    # Benchmark: replaying a random address trace through the full hierarchy.
+    rng = np.random.default_rng(0)
+    addresses = rng.integers(0, 1 << 24, size=5_000).tolist()
+
+    def replay():
+        simulator = HierarchySimulator(IVY_BRIDGE_HIERARCHY.scaled(0.001))
+        simulator.access_many(addresses)
+        return simulator.average_latency()
+
+    latency = benchmark(replay)
+    assert latency > 0

@@ -1,0 +1,42 @@
+"""Table 2: per-algorithm memory-access analysis.
+
+Regenerates the paper's algorithm summary (visiting order, accesses per token,
+size of randomly accessed memory per document) with measured K_d / K_w values
+for a NYTimes-like corpus.
+"""
+
+from repro.cache import access_pattern_table
+from repro.corpus import load_preset
+from repro.report import format_table
+
+
+def test_table2_access_patterns(benchmark, emit):
+    corpus = load_preset("nytimes_like", scale=0.2, rng=0)
+    num_topics = 100
+
+    rows = benchmark(access_pattern_table, corpus, num_topics, None, 1, 0)
+
+    formatted = format_table(
+        [
+            {
+                "Algorithm": row.algorithm,
+                "Type": row.family,
+                "Order": row.visiting_order,
+                "Sequential/token": row.sequential_per_token,
+                "Random/token": row.random_per_token,
+                "Random accesses (measured)": round(row.random_per_token_value, 1),
+                "Random memory/doc": row.random_memory_per_doc,
+                "Random memory/doc (bytes)": row.random_memory_per_doc_bytes,
+            }
+            for row in rows
+        ],
+        title=f"Table 2: access patterns (D={corpus.num_documents}, "
+        f"V={corpus.vocabulary_size}, K={num_topics})",
+    )
+    emit("table2_access_analysis", formatted)
+
+    by_name = {row.algorithm: row for row in rows}
+    assert by_name["WarpLDA"].random_memory_per_doc_bytes < min(
+        by_name[name].random_memory_per_doc_bytes
+        for name in ("SparseLDA", "AliasLDA", "F+LDA", "LightLDA")
+    )

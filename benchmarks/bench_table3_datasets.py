@@ -1,0 +1,38 @@
+"""Table 3: dataset statistics.
+
+Prints the paper's full-size statistics next to the measured statistics of the
+scaled synthetic stand-ins actually used by the other benchmarks.
+"""
+
+from repro.corpus import DATASET_PRESETS, CorpusStatistics
+from repro.report import format_table
+
+
+def test_table3_dataset_statistics(benchmark, emit):
+    def build_rows():
+        rows = []
+        for name, preset in DATASET_PRESETS.items():
+            corpus = preset.generate(scale=0.2, rng=0)
+            stats = CorpusStatistics.from_corpus(corpus).as_table_row()
+            rows.append(
+                {
+                    "Dataset": name,
+                    "paper D": preset.paper_statistics["D"],
+                    "paper T": preset.paper_statistics["T"],
+                    "paper V": preset.paper_statistics["V"],
+                    "paper T/D": preset.paper_statistics["T/D"],
+                    "repro D": stats["D"],
+                    "repro T": stats["T"],
+                    "repro V": stats["V"],
+                    "repro T/D": stats["T/D"],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    emit("table3_datasets", format_table(rows, title="Table 3: dataset statistics (paper vs scaled stand-in)"))
+
+    # The tokens-per-document ratio — the statistic that shapes per-document
+    # working sets — must match the paper's within 20%.
+    for row in rows:
+        assert abs(row["repro T/D"] - row["paper T/D"]) / row["paper T/D"] < 0.2

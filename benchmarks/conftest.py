@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper.  Because pytest
+captures stdout, every benchmark also appends its formatted output to
+``benchmarks/results/`` so the regenerated rows/series are always available on
+disk after a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Print a report block and persist it under benchmarks/results/."""
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+
+    return _emit

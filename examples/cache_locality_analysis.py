@@ -1,0 +1,51 @@
+"""Reproduce the paper's cache-locality analysis on a synthetic corpus.
+
+Prints the Table 2 style access-pattern summary and the Table 4 style L3
+miss-rate comparison for LightLDA, F+LDA and WarpLDA, using the trace-driven
+cache simulator instead of hardware counters.
+
+Run with::
+
+    python examples/cache_locality_analysis.py
+"""
+
+from repro.cache import IVY_BRIDGE_HIERARCHY, access_pattern_table, l3_miss_rate_experiment
+from repro.corpus import load_preset
+from repro.report import format_table
+
+
+def main() -> None:
+    corpus = load_preset("nytimes_like", scale=0.2, rng=0)
+    num_topics = 100
+
+    print("Memory hierarchy (paper Table 1):")
+    print(format_table(IVY_BRIDGE_HIERARCHY.table_rows()))
+
+    print("\nAccess-pattern summary (paper Table 2):")
+    rows = [
+        {
+            "algorithm": row.algorithm,
+            "order": row.visiting_order,
+            "random accesses/token": row.random_per_token,
+            "measured": round(row.random_per_token_value, 1),
+            "randomly accessed memory": row.random_memory_per_doc,
+            "bytes": row.random_memory_per_doc_bytes,
+        }
+        for row in access_pattern_table(corpus, num_topics, rng=0)
+    ]
+    print(format_table(rows))
+
+    print("\nSimulated L3 behaviour (paper Table 4), M=1:")
+    results = l3_miss_rate_experiment(corpus, num_topics, max_tokens=6000, rng=0)
+    print(format_table([
+        {
+            "algorithm": name,
+            "L3 miss rate": round(values["l3_miss_rate"], 3),
+            "avg latency (cycles)": round(values["avg_latency_cycles"], 1),
+        }
+        for name, values in results.items()
+    ]))
+
+
+if __name__ == "__main__":
+    main()

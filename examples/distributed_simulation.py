@@ -1,0 +1,57 @@
+"""Distributed WarpLDA on a simulated cluster (the paper's Sec. 5 / Fig. 9).
+
+Trains WarpLDA under the simulated-cluster time model for several worker
+counts, prints the modelled per-iteration times, the partitioning balance and
+the extrapolated scaling curves.
+
+Run with::
+
+    python examples/distributed_simulation.py
+"""
+
+from repro.corpus import load_preset
+from repro.distributed import (
+    ClusterConfig,
+    DistributedWarpLDA,
+    SimulatedCluster,
+    machine_scaling_curve,
+    thread_scaling_curve,
+)
+from repro.evaluation import ConvergenceTracker
+from repro.report import format_table
+
+
+def main() -> None:
+    corpus = load_preset("clueweb_like", scale=0.2, rng=0)
+    print(f"Corpus: {corpus.num_documents} documents, {corpus.num_tokens} tokens")
+
+    rows = []
+    for workers in (1, 2, 4, 8):
+        config = ClusterConfig(num_workers=workers)
+        tracker = ConvergenceTracker(f"{workers} workers")
+        model = DistributedWarpLDA(corpus, config, num_topics=50, seed=0)
+        model.fit(5, tracker=tracker)
+        cluster = SimulatedCluster(corpus, config)
+        rows.append(
+            {
+                "workers": workers,
+                "modelled seconds / 5 iters": round(model.modelled_seconds, 3),
+                "column imbalance": round(cluster.column_imbalance, 4),
+                "final log-likelihood": round(tracker.final_log_likelihood, 1),
+            }
+        )
+    print(format_table(rows, title="Simulated distributed WarpLDA"))
+
+    single_core = 6e6       # paper Fig. 9a: ~6M tokens/s on one core
+    single_machine = 1.1e8  # paper Sec. 6.2: ~110M tokens/s on one machine
+    print()
+    print(format_table(thread_scaling_curve(single_core), title="Modelled thread scaling (Fig. 9a)"))
+    print()
+    print(format_table(
+        machine_scaling_curve(single_machine, machine_counts=(1, 2, 4, 8, 16, 64, 256)),
+        title="Modelled machine scaling (Fig. 9b/9d)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

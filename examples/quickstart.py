@@ -1,0 +1,37 @@
+"""Quickstart: train WarpLDA on a synthetic NYTimes-like corpus.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import WarpLDA
+from repro.corpus import load_preset
+from repro.evaluation import ConvergenceTracker, top_words
+
+
+def main() -> None:
+    # A scaled-down stand-in for the paper's NYTimes corpus (Table 3).
+    corpus = load_preset("nytimes_like", scale=0.2, rng=0)
+    print(f"Corpus: {corpus.num_documents} documents, {corpus.num_tokens} tokens, "
+          f"{corpus.vocabulary_size} words")
+
+    # WarpLDA with the paper's default hyper-parameters (alpha=50/K, beta=0.01)
+    # and M=2 Metropolis-Hastings proposals per token.
+    model = WarpLDA(corpus, num_topics=20, num_mh_steps=2, seed=0)
+    tracker = ConvergenceTracker("WarpLDA")
+    model.fit(50, tracker=tracker, evaluate_every=10)
+
+    print("\nConvergence (log joint likelihood):")
+    for record in tracker.records:
+        print(f"  iteration {record.iteration:3d}  "
+              f"log-likelihood {record.log_likelihood:14.1f}  "
+              f"throughput {record.throughput / 1e6:5.2f} Mtoken/s")
+
+    print("\nTop words of the first five topics:")
+    for topic_index, words in enumerate(top_words(model.phi(), corpus.vocabulary, 8)[:5]):
+        print(f"  topic {topic_index}: {' '.join(words)}")
+
+
+if __name__ == "__main__":
+    main()

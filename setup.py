@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments where PEP 517 build
+isolation cannot download a build backend.
+"""
+
+from setuptools import setup
+
+setup()

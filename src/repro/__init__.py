@@ -1,0 +1,45 @@
+"""WarpLDA reproduction library.
+
+This package reproduces the system described in *WarpLDA: a Cache Efficient
+O(1) Algorithm for Latent Dirichlet Allocation* (Chen et al., VLDB 2016).
+
+Subpackages
+-----------
+``repro.sampling``
+    Low-level sampling primitives: alias tables, F+ trees, discrete and
+    Metropolis-Hastings samplers.
+``repro.corpus``
+    Corpus substrate: vocabulary, documents, the UCI bag-of-words format,
+    synthetic corpus generators and dataset presets.
+``repro.samplers``
+    Baseline LDA samplers: collapsed Gibbs, SparseLDA, AliasLDA, F+LDA and
+    LightLDA.
+``repro.core``
+    The paper's contribution: the WarpLDA MCEM sampler and its ablation
+    variants.
+``repro.evaluation``
+    Log joint likelihood, perplexity, coherence and convergence tracking.
+``repro.cache``
+    A memory-hierarchy simulator and memory-access analysis used to reproduce
+    the paper's cache-locality results.
+``repro.distributed``
+    The distributed sparse-matrix framework (VisitByRow / VisitByColumn),
+    partitioning strategies and a simulated cluster.
+``repro.report``
+    Helpers shared by the benchmark harness for formatting tables and series.
+"""
+
+from repro.core.warplda import WarpLDA, WarpLDAConfig
+from repro.corpus.corpus import Corpus, Document
+from repro.corpus.vocabulary import Vocabulary
+
+__all__ = [
+    "Corpus",
+    "Document",
+    "Vocabulary",
+    "WarpLDA",
+    "WarpLDAConfig",
+    "__version__",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,46 @@
+"""Memory-hierarchy simulation and memory-access analysis.
+
+The paper's central claim is about *cache locality*: every earlier fast LDA
+sampler randomly accesses an O(KV) or O(DK) count matrix while sweeping
+tokens, so its working set cannot fit in the L3 cache, whereas WarpLDA's
+randomly accessed memory per document (or word) is a single O(K) vector.
+
+Real hardware counters (PAPI) are not available in this reproduction, so this
+package substitutes a trace-driven simulation:
+
+* :mod:`repro.cache.hierarchy` — the Table 1 memory hierarchy description;
+* :mod:`repro.cache.simulator` — a set-associative LRU multi-level cache
+  simulator;
+* :mod:`repro.cache.tracing` — per-algorithm memory-access trace generators
+  that replay exactly the count-matrix accesses of Sec. 3.3;
+* :mod:`repro.cache.analysis` — the analytic access-pattern summary of
+  Table 2 and the driver that reproduces the Table 4 L3 miss-rate comparison.
+"""
+
+from repro.cache.analysis import (
+    AccessPatternSummary,
+    access_pattern_table,
+    estimate_topic_sparsity,
+    l3_miss_rate_experiment,
+)
+from repro.cache.hierarchy import (
+    IVY_BRIDGE_HIERARCHY,
+    CacheLevelConfig,
+    MemoryHierarchyConfig,
+)
+from repro.cache.simulator import CacheSimulator, HierarchySimulator
+from repro.cache.tracing import ALGORITHM_TRACERS, AccessTraceGenerator
+
+__all__ = [
+    "ALGORITHM_TRACERS",
+    "AccessPatternSummary",
+    "AccessTraceGenerator",
+    "CacheLevelConfig",
+    "CacheSimulator",
+    "HierarchySimulator",
+    "IVY_BRIDGE_HIERARCHY",
+    "MemoryHierarchyConfig",
+    "access_pattern_table",
+    "estimate_topic_sparsity",
+    "l3_miss_rate_experiment",
+]

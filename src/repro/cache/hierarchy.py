@@ -1,0 +1,126 @@
+"""Memory-hierarchy description (the paper's Table 1).
+
+The default configuration models the Intel Ivy Bridge machine of the paper:
+a 32 KB L1 data cache (5 cycles), a 256 KB L2 (12 cycles), a 30 MB shared L3
+(30 cycles) and main memory at 180+ cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["CacheLevelConfig", "MemoryHierarchyConfig", "IVY_BRIDGE_HIERARCHY"]
+
+
+@dataclass(frozen=True)
+class CacheLevelConfig:
+    """One level of the cache hierarchy."""
+
+    name: str
+    size_bytes: int
+    latency_cycles: int
+    line_size: int = 64
+    associativity: int = 8
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if self.latency_cycles <= 0:
+            raise ValueError("latency_cycles must be positive")
+        if self.line_size <= 0 or self.line_size & (self.line_size - 1):
+            raise ValueError("line_size must be a positive power of two")
+        if self.associativity <= 0:
+            raise ValueError("associativity must be positive")
+        num_lines = self.size_bytes // self.line_size
+        if num_lines < self.associativity:
+            raise ValueError("cache must hold at least one set")
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        return max(self.num_lines // self.associativity, 1)
+
+
+@dataclass(frozen=True)
+class MemoryHierarchyConfig:
+    """A stack of cache levels backed by main memory."""
+
+    levels: Tuple[CacheLevelConfig, ...]
+    memory_latency_cycles: int = 180
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("a hierarchy needs at least one cache level")
+        if self.memory_latency_cycles <= 0:
+            raise ValueError("memory_latency_cycles must be positive")
+        sizes = [level.size_bytes for level in self.levels]
+        if sizes != sorted(sizes):
+            raise ValueError("cache levels must be ordered from smallest to largest")
+
+    def level(self, name: str) -> CacheLevelConfig:
+        """Return the level named ``name`` (e.g. ``"L3"``)."""
+        for level in self.levels:
+            if level.name == name:
+                return level
+        raise KeyError(f"no cache level named {name!r}")
+
+    def scaled(self, factor: float) -> "MemoryHierarchyConfig":
+        """Return a copy with every cache size multiplied by ``factor``.
+
+        The reproduction runs on corpora thousands of times smaller than the
+        paper's, so the count matrices would trivially fit in a real 30 MB L3.
+        Scaling the cache sizes by the same factor as the data restores the
+        paper's regime: the per-document O(K) vectors fit, the O(KV) and
+        O(DK) matrices do not.  Latencies are left unchanged.
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        levels = []
+        for level in self.levels:
+            size = max(int(level.size_bytes * factor), level.line_size * level.associativity)
+            levels.append(
+                CacheLevelConfig(
+                    name=level.name,
+                    size_bytes=size,
+                    latency_cycles=level.latency_cycles,
+                    line_size=level.line_size,
+                    associativity=level.associativity,
+                )
+            )
+        return MemoryHierarchyConfig(
+            levels=tuple(levels), memory_latency_cycles=self.memory_latency_cycles
+        )
+
+    def table_rows(self) -> List[Dict[str, object]]:
+        """Rows of the paper's Table 1 (latency and size per level)."""
+        rows = [
+            {
+                "level": level.name,
+                "latency_cycles": level.latency_cycles,
+                "size_bytes": level.size_bytes,
+            }
+            for level in self.levels
+        ]
+        rows.append(
+            {
+                "level": "Main memory",
+                "latency_cycles": self.memory_latency_cycles,
+                "size_bytes": None,
+            }
+        )
+        return rows
+
+
+#: The Ivy Bridge configuration of Table 1.
+IVY_BRIDGE_HIERARCHY = MemoryHierarchyConfig(
+    levels=(
+        CacheLevelConfig(name="L1D", size_bytes=32 * 1024, latency_cycles=5),
+        CacheLevelConfig(name="L2", size_bytes=256 * 1024, latency_cycles=12),
+        CacheLevelConfig(name="L3", size_bytes=30 * 1024 * 1024, latency_cycles=30, associativity=16),
+    ),
+    memory_latency_cycles=180,
+)

@@ -1,0 +1,44 @@
+"""Corpus substrate: documents, vocabularies, formats and generators.
+
+The paper evaluates on NYTimes and PubMed (UCI bag-of-words format) and on
+ClueWeb12 crawls.  Those corpora are not redistributable, so this package
+provides
+
+* the data model (:class:`~repro.corpus.corpus.Corpus`,
+  :class:`~repro.corpus.corpus.Document`,
+  :class:`~repro.corpus.vocabulary.Vocabulary`),
+* a reader/writer for the UCI bag-of-words format
+  (:mod:`repro.corpus.uci`) so real corpora drop in unchanged,
+* a plain-text tokenizer mirroring the paper's ClueWeb12 preprocessing
+  (:mod:`repro.corpus.tokenize`), and
+* synthetic generators (:mod:`repro.corpus.synthetic`) plus presets calibrated
+  to the paper's Table 3 statistics (:mod:`repro.corpus.datasets`).
+"""
+
+from repro.corpus.corpus import Corpus, Document
+from repro.corpus.datasets import DATASET_PRESETS, DatasetPreset, load_preset
+from repro.corpus.stats import CorpusStatistics
+from repro.corpus.synthetic import (
+    SyntheticCorpusSpec,
+    generate_lda_corpus,
+    generate_zipf_corpus,
+)
+from repro.corpus.tokenize import simple_tokenize
+from repro.corpus.uci import read_uci_bow, write_uci_bow
+from repro.corpus.vocabulary import Vocabulary
+
+__all__ = [
+    "Corpus",
+    "CorpusStatistics",
+    "DATASET_PRESETS",
+    "DatasetPreset",
+    "Document",
+    "SyntheticCorpusSpec",
+    "Vocabulary",
+    "generate_lda_corpus",
+    "generate_zipf_corpus",
+    "load_preset",
+    "read_uci_bow",
+    "simple_tokenize",
+    "write_uci_bow",
+]

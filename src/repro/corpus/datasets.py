@@ -1,0 +1,139 @@
+"""Dataset presets calibrated to the paper's Table 3, at laptop scale.
+
+The paper's corpora:
+
+========================  ======  ======  =====  ====
+Dataset                   D       T       V      T/D
+========================  ======  ======  =====  ====
+NYTimes                   300K    100M    102K   332
+PubMed                    8.2M    738M    141K   90
+ClueWeb12 (subset)        38M     14B     1M     367
+ClueWeb12                 639M    236B    1M     378
+========================  ======  ======  =====  ====
+
+Pure Python cannot sweep hundreds of millions of documents, so each preset
+keeps the *shape* of its dataset — the tokens-per-document ratio and the
+relative vocabulary richness — at a configurable ``scale``.  ``scale=1.0``
+corresponds to the default laptop-sized stand-in (documented per preset);
+the full-size numbers are retained in :attr:`DatasetPreset.paper_statistics`
+so the Table 3 bench can print both side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.synthetic import (
+    SyntheticCorpusSpec,
+    generate_lda_corpus,
+    generate_zipf_corpus,
+)
+from repro.sampling.rng import RngLike
+
+__all__ = ["DatasetPreset", "DATASET_PRESETS", "load_preset"]
+
+
+@dataclass(frozen=True)
+class DatasetPreset:
+    """A named synthetic stand-in for one of the paper's corpora.
+
+    Attributes
+    ----------
+    name:
+        Preset key, e.g. ``"nytimes_like"``.
+    paper_statistics:
+        The Table 3 row of the real dataset (D, T, V, T/D).
+    base_documents / base_vocabulary / mean_document_length / num_topics:
+        Scale-1.0 generation parameters.  ``mean_document_length`` matches the
+        real dataset's T/D; documents and vocabulary are scaled down together
+        so the D:V ratio is preserved.
+    generator:
+        ``"lda"`` (topical structure, for convergence runs) or ``"zipf"``
+        (frequency skew only, for partitioning / cache runs).
+    """
+
+    name: str
+    paper_statistics: Dict[str, float]
+    base_documents: int
+    base_vocabulary: int
+    mean_document_length: int
+    num_topics: int
+    generator: str = "lda"
+    zipf_exponent: float = 1.07
+
+    def spec(self, scale: float = 1.0) -> SyntheticCorpusSpec:
+        """Return the :class:`SyntheticCorpusSpec` for the given scale."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        return SyntheticCorpusSpec(
+            num_documents=max(2, int(round(self.base_documents * scale))),
+            vocabulary_size=max(10, int(round(self.base_vocabulary * scale))),
+            mean_document_length=self.mean_document_length,
+            num_topics=self.num_topics,
+            zipf_exponent=self.zipf_exponent,
+        )
+
+    def generate(self, scale: float = 1.0, rng: RngLike = None) -> Corpus:
+        """Generate the corpus for this preset at the given scale."""
+        spec = self.spec(scale)
+        if self.generator == "lda":
+            return generate_lda_corpus(spec, rng=rng)
+        if self.generator == "zipf":
+            return generate_zipf_corpus(spec, rng=rng)
+        raise ValueError(f"unknown generator {self.generator!r}")
+
+
+DATASET_PRESETS: Dict[str, DatasetPreset] = {
+    "nytimes_like": DatasetPreset(
+        name="nytimes_like",
+        paper_statistics={"D": 300_000, "T": 100_000_000, "V": 102_000, "T/D": 332},
+        base_documents=600,
+        base_vocabulary=2_000,
+        mean_document_length=332,
+        num_topics=50,
+    ),
+    "pubmed_like": DatasetPreset(
+        name="pubmed_like",
+        paper_statistics={"D": 8_200_000, "T": 738_000_000, "V": 141_000, "T/D": 90},
+        base_documents=2_000,
+        base_vocabulary=3_000,
+        mean_document_length=90,
+        num_topics=50,
+    ),
+    "clueweb_like": DatasetPreset(
+        name="clueweb_like",
+        paper_statistics={"D": 639_000_000, "T": 236_000_000_000, "V": 1_000_000, "T/D": 378},
+        base_documents=1_000,
+        base_vocabulary=5_000,
+        mean_document_length=378,
+        num_topics=100,
+        generator="zipf",
+    ),
+    "clueweb_subset_like": DatasetPreset(
+        name="clueweb_subset_like",
+        paper_statistics={"D": 38_000_000, "T": 14_000_000_000, "V": 1_000_000, "T/D": 367},
+        base_documents=800,
+        base_vocabulary=4_000,
+        mean_document_length=367,
+        num_topics=100,
+        generator="zipf",
+    ),
+}
+
+
+def load_preset(name: str, scale: float = 1.0, rng: RngLike = None) -> Corpus:
+    """Generate the corpus for preset ``name`` at ``scale``.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not a known preset.
+    """
+    try:
+        preset = DATASET_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(DATASET_PRESETS))
+        raise KeyError(f"unknown dataset preset {name!r}; known presets: {known}") from None
+    return preset.generate(scale=scale, rng=rng)

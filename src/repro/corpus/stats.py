@@ -1,0 +1,63 @@
+"""Corpus statistics (the quantities reported in the paper's Table 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.corpus.corpus import Corpus
+
+__all__ = ["CorpusStatistics"]
+
+
+@dataclass(frozen=True)
+class CorpusStatistics:
+    """Summary statistics of a corpus.
+
+    Attributes mirror Table 3 of the paper (D, T, V, T/D) plus a few extra
+    quantities used by the memory-access analysis.
+    """
+
+    num_documents: int
+    num_tokens: int
+    vocabulary_size: int
+    observed_vocabulary_size: int
+    mean_document_length: float
+    max_document_length: int
+    mean_word_frequency: float
+    max_word_frequency: int
+    top_words_token_share: float
+    """Fraction of tokens covered by the most frequent 1% of words."""
+
+    @classmethod
+    def from_corpus(cls, corpus: Corpus) -> "CorpusStatistics":
+        """Compute statistics for ``corpus``."""
+        lengths = corpus.document_lengths()
+        frequencies = corpus.word_frequencies()
+        observed = frequencies[frequencies > 0]
+        top_count = max(1, corpus.vocabulary_size // 100)
+        top_share = float(
+            np.sort(frequencies)[::-1][:top_count].sum() / max(corpus.num_tokens, 1)
+        )
+        return cls(
+            num_documents=corpus.num_documents,
+            num_tokens=corpus.num_tokens,
+            vocabulary_size=corpus.vocabulary_size,
+            observed_vocabulary_size=int(observed.size),
+            mean_document_length=float(lengths.mean()),
+            max_document_length=int(lengths.max()),
+            mean_word_frequency=float(observed.mean()) if observed.size else 0.0,
+            max_word_frequency=int(frequencies.max()),
+            top_words_token_share=top_share,
+        )
+
+    def as_table_row(self) -> Dict[str, float]:
+        """Return the Table 3 columns (D, T, V, T/D)."""
+        return {
+            "D": self.num_documents,
+            "T": self.num_tokens,
+            "V": self.vocabulary_size,
+            "T/D": round(self.mean_document_length, 1),
+        }

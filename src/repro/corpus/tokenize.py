@@ -1,0 +1,61 @@
+"""Plain-text tokenisation mirroring the paper's ClueWeb12 preprocessing.
+
+The paper (Sec. 6.1) extracts text, removes everything except alphabets and
+digits, lower-cases, splits on whitespace and removes stop words.  This module
+implements the same pipeline for the text-input path of the library.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, List, Optional
+
+__all__ = ["simple_tokenize", "DEFAULT_STOP_WORDS"]
+
+_NON_ALNUM = re.compile(r"[^a-z0-9]+")
+
+#: A small English stop-word list (the paper removes stop words; the exact
+#: list is not specified, so we use a conventional minimal set).
+DEFAULT_STOP_WORDS: FrozenSet[str] = frozenset(
+    """
+    a about above after again against all am an and any are as at be because
+    been before being below between both but by can did do does doing down
+    during each few for from further had has have having he her here hers
+    herself him himself his how i if in into is it its itself just me more
+    most my myself no nor not now of off on once only or other our ours
+    ourselves out over own same she should so some such than that the their
+    theirs them themselves then there these they this those through to too
+    under until up very was we were what when where which while who whom why
+    will with you your yours yourself yourselves
+    """.split()
+)
+
+
+def simple_tokenize(
+    text: str,
+    stop_words: Optional[FrozenSet[str]] = DEFAULT_STOP_WORDS,
+    min_length: int = 2,
+) -> List[str]:
+    """Tokenise ``text`` into lower-case alphanumeric tokens.
+
+    Parameters
+    ----------
+    text:
+        The raw text.
+    stop_words:
+        Words to drop; pass ``None`` to keep everything.
+    min_length:
+        Drop tokens shorter than this many characters.
+    """
+    if not isinstance(text, str):
+        raise TypeError(f"text must be a string, got {type(text).__name__}")
+    lowered = text.lower()
+    pieces = _NON_ALNUM.split(lowered)
+    tokens = []
+    for piece in pieces:
+        if len(piece) < min_length:
+            continue
+        if stop_words is not None and piece in stop_words:
+            continue
+        tokens.append(piece)
+    return tokens

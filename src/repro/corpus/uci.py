@@ -1,0 +1,151 @@
+"""Reader/writer for the UCI bag-of-words format.
+
+NYTimes and PubMed, the paper's single-machine corpora, are distributed by the
+UCI machine learning repository in this format:
+
+``docword.<name>.txt``::
+
+    D
+    V
+    NNZ
+    docID wordID count
+    ...
+
+``vocab.<name>.txt`` — one word per line, 1-indexed by line number.
+
+Both docIDs and wordIDs are 1-based in the files and converted to 0-based ids
+internally.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Dict, List, Optional, TextIO, Tuple, Union
+
+import numpy as np
+
+from repro.corpus.corpus import Corpus, Document
+from repro.corpus.vocabulary import Vocabulary
+
+__all__ = ["read_uci_bow", "write_uci_bow", "read_uci_vocab", "write_uci_vocab"]
+
+PathLike = Union[str, Path]
+
+
+def _open_text(path: PathLike, mode: str) -> TextIO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def read_uci_vocab(path: PathLike) -> Vocabulary:
+    """Read a ``vocab.*.txt`` file (one word per line)."""
+    with _open_text(path, "r") as handle:
+        words = [line.strip() for line in handle if line.strip()]
+    return Vocabulary(words)
+
+
+def write_uci_vocab(vocabulary: Vocabulary, path: PathLike) -> None:
+    """Write a vocabulary as one word per line."""
+    with _open_text(path, "w") as handle:
+        for word in vocabulary.words():
+            handle.write(word + "\n")
+
+
+def read_uci_bow(
+    docword_path: PathLike,
+    vocab_path: Optional[PathLike] = None,
+    max_documents: Optional[int] = None,
+) -> Corpus:
+    """Read a UCI ``docword.*.txt`` (optionally gzipped) into a :class:`Corpus`.
+
+    Parameters
+    ----------
+    docword_path:
+        Path to the docword file.
+    vocab_path:
+        Optional path to the matching vocab file; if omitted, synthetic word
+        names ``w0..w{V-1}`` are used.
+    max_documents:
+        If given, keep only the first ``max_documents`` documents — handy for
+        scaled-down experiments.
+    """
+    with _open_text(docword_path, "r") as handle:
+        header = [handle.readline() for _ in range(3)]
+        try:
+            num_docs = int(header[0])
+            num_words = int(header[1])
+            num_nonzero = int(header[2])
+        except (ValueError, IndexError) as exc:
+            raise ValueError(
+                f"{docword_path}: malformed UCI header (expected 3 integer lines)"
+            ) from exc
+
+        bags: Dict[int, Dict[int, int]] = {}
+        for line_number, line in enumerate(handle, start=4):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{docword_path}:{line_number}: expected 'doc word count', got {line!r}"
+                )
+            doc_id, word_id, count = (int(part) for part in parts)
+            if not 1 <= doc_id <= num_docs:
+                raise ValueError(
+                    f"{docword_path}:{line_number}: document id {doc_id} out of range"
+                )
+            if not 1 <= word_id <= num_words:
+                raise ValueError(
+                    f"{docword_path}:{line_number}: word id {word_id} out of range"
+                )
+            if count <= 0:
+                raise ValueError(
+                    f"{docword_path}:{line_number}: count must be positive, got {count}"
+                )
+            if max_documents is not None and doc_id > max_documents:
+                continue
+            bags.setdefault(doc_id - 1, {})[word_id - 1] = count
+
+    if vocab_path is not None:
+        vocabulary = read_uci_vocab(vocab_path)
+        if vocabulary.size < num_words:
+            raise ValueError(
+                f"vocab file has {vocabulary.size} words but docword header says {num_words}"
+            )
+    else:
+        vocabulary = Vocabulary(f"w{i}" for i in range(num_words))
+
+    kept_docs = num_docs if max_documents is None else min(num_docs, max_documents)
+    ordered_bags = [bags.get(doc_index, {}) for doc_index in range(kept_docs)]
+    # Drop trailing empty documents but keep interior ones (so doc ids stay
+    # aligned for debugging real corpora).
+    while len(ordered_bags) > 1 and not ordered_bags[-1]:
+        ordered_bags.pop()
+    return Corpus.from_bags(ordered_bags, vocabulary)
+
+
+def write_uci_bow(
+    corpus: Corpus,
+    docword_path: PathLike,
+    vocab_path: Optional[PathLike] = None,
+) -> None:
+    """Write ``corpus`` in UCI bag-of-words format."""
+    entries: List[Tuple[int, int, int]] = []
+    for doc_index in range(corpus.num_documents):
+        bag = corpus[doc_index].bag_of_words()
+        for word_id in sorted(bag):
+            entries.append((doc_index + 1, word_id + 1, bag[word_id]))
+
+    with _open_text(docword_path, "w") as handle:
+        handle.write(f"{corpus.num_documents}\n")
+        handle.write(f"{corpus.vocabulary_size}\n")
+        handle.write(f"{len(entries)}\n")
+        for doc_id, word_id, count in entries:
+            handle.write(f"{doc_id} {word_id} {count}\n")
+
+    if vocab_path is not None:
+        write_uci_vocab(corpus.vocabulary, vocab_path)

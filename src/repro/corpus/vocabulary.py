@@ -1,0 +1,114 @@
+"""Bidirectional word ↔ id mapping."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """A growable, bidirectional mapping between words and integer ids.
+
+    Ids are dense and assigned in insertion order, which is what every count
+    matrix in the library indexes by.
+
+    Examples
+    --------
+    >>> vocab = Vocabulary()
+    >>> vocab.add("apple")
+    0
+    >>> vocab.add("orange")
+    1
+    >>> vocab["apple"]
+    0
+    >>> vocab.word(1)
+    'orange'
+    """
+
+    __slots__ = ("_word_to_id", "_id_to_word", "_frozen")
+
+    def __init__(self, words: Optional[Iterable[str]] = None):
+        self._word_to_id: Dict[str, int] = {}
+        self._id_to_word: List[str] = []
+        self._frozen = False
+        if words is not None:
+            for word in words:
+                self.add(word)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of distinct words ``V``."""
+        return len(self._id_to_word)
+
+    @property
+    def frozen(self) -> bool:
+        """Whether :meth:`add` for unseen words is disabled."""
+        return self._frozen
+
+    def freeze(self) -> "Vocabulary":
+        """Disallow adding new words; lookups of unknown words then raise."""
+        self._frozen = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    def add(self, word: str) -> int:
+        """Return the id of ``word``, adding it if unseen (unless frozen)."""
+        if not isinstance(word, str):
+            raise TypeError(f"word must be a string, got {type(word).__name__}")
+        if not word:
+            raise ValueError("word must be non-empty")
+        existing = self._word_to_id.get(word)
+        if existing is not None:
+            return existing
+        if self._frozen:
+            raise KeyError(f"vocabulary is frozen and does not contain {word!r}")
+        new_id = len(self._id_to_word)
+        self._word_to_id[word] = new_id
+        self._id_to_word.append(word)
+        return new_id
+
+    def word(self, word_id: int) -> str:
+        """Return the word with the given id."""
+        if not 0 <= word_id < len(self._id_to_word):
+            raise IndexError(f"word id {word_id} out of range [0, {self.size})")
+        return self._id_to_word[word_id]
+
+    def words(self) -> List[str]:
+        """Return all words in id order (a copy)."""
+        return list(self._id_to_word)
+
+    def get(self, word: str, default: Optional[int] = None) -> Optional[int]:
+        """Return the id of ``word`` or ``default`` if absent."""
+        return self._word_to_id.get(word, default)
+
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, word: str) -> int:
+        try:
+            return self._word_to_id[word]
+        except KeyError:
+            raise KeyError(f"word {word!r} not in vocabulary") from None
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._word_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_word)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_word)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vocabulary):
+            return NotImplemented
+        return self._id_to_word == other._id_to_word
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Vocabulary(size={self.size}, frozen={self._frozen})"
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_words(cls, words: Sequence[str]) -> "Vocabulary":
+        """Build a vocabulary with the given words in order."""
+        return cls(words)

@@ -1,0 +1,116 @@
+"""Analytic scaling model for threads, machines and cluster throughput (Fig. 9).
+
+Absolute throughput cannot be meaningfully reproduced in Python, so the
+multi-core and multi-machine results are reproduced with a contention-style
+performance model
+
+.. math:: \\text{speedup}(n) = \\frac{n}{1 + \\gamma (n - 1)}
+
+where the contention coefficient γ captures memory-bandwidth saturation and
+NUMA effects (threads) or communication and straggler overhead (machines).
+The default coefficients are calibrated so the model passes through the
+paper's reported points — 17x on 24 cores (Fig. 9a), 13.5x on 16 machines
+(Fig. 9b) — and the same model extrapolates the 256-machine throughput run
+(Fig. 9d).  The per-unit base throughput is measured, not assumed: callers
+pass the single-worker token rate obtained from an actual run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+__all__ = ["ScalingModel", "thread_scaling_curve", "machine_scaling_curve"]
+
+
+@dataclass(frozen=True)
+class ScalingModel:
+    """Contention-based speedup model.
+
+    Attributes
+    ----------
+    contention:
+        The γ coefficient: 0 gives perfect linear scaling, larger values
+        saturate earlier.
+    numa_penalty:
+        Multiplicative efficiency penalty applied beyond ``numa_boundary``
+        workers (models the cross-socket accesses of Sec. 5.3.1 that the
+        paper's NUMA-aware placement mostly, but not completely, removes).
+    numa_boundary:
+        Number of workers per NUMA domain (cores per socket / workers per
+        machine group).
+    """
+
+    contention: float = 0.018
+    numa_penalty: float = 1.0
+    numa_boundary: int = 0
+
+    def __post_init__(self) -> None:
+        if self.contention < 0:
+            raise ValueError("contention must be non-negative")
+        if not 0 < self.numa_penalty <= 1.0:
+            raise ValueError("numa_penalty must be in (0, 1]")
+        if self.numa_boundary < 0:
+            raise ValueError("numa_boundary must be non-negative")
+
+    def speedup(self, num_workers: int) -> float:
+        """Modelled speedup over one worker."""
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        speedup = num_workers / (1.0 + self.contention * (num_workers - 1))
+        if self.numa_boundary and num_workers > self.numa_boundary:
+            speedup *= self.numa_penalty
+        return float(speedup)
+
+    def efficiency(self, num_workers: int) -> float:
+        """Parallel efficiency (speedup / workers)."""
+        return self.speedup(num_workers) / num_workers
+
+    def throughput(self, num_workers: int, single_worker_throughput: float) -> float:
+        """Modelled aggregate throughput (tokens/s) of ``num_workers`` workers."""
+        if single_worker_throughput <= 0:
+            raise ValueError("single_worker_throughput must be positive")
+        return single_worker_throughput * self.speedup(num_workers)
+
+    def curve(
+        self, worker_counts: Iterable[int], single_worker_throughput: float
+    ) -> List[Dict[str, float]]:
+        """Speedup/throughput rows for a sweep of worker counts."""
+        rows = []
+        for count in worker_counts:
+            rows.append(
+                {
+                    "workers": float(count),
+                    "speedup": self.speedup(count),
+                    "efficiency": self.efficiency(count),
+                    "throughput": self.throughput(count, single_worker_throughput),
+                }
+            )
+        return rows
+
+
+#: Model calibrated to Fig. 9a (24 cores -> ~17x, 2-socket NUMA machine).
+THREAD_SCALING_MODEL = ScalingModel(contention=0.018, numa_penalty=0.98, numa_boundary=12)
+
+#: Model calibrated to Fig. 9b (16 machines -> ~13.5x).
+MACHINE_SCALING_MODEL = ScalingModel(contention=0.0125)
+
+
+def thread_scaling_curve(
+    single_core_throughput: float,
+    core_counts: Iterable[int] = (1, 6, 12, 24),
+    model: ScalingModel = THREAD_SCALING_MODEL,
+) -> List[Dict[str, float]]:
+    """Fig. 9a: multi-threading speedup and throughput on one machine."""
+    return model.curve(core_counts, single_core_throughput)
+
+
+def machine_scaling_curve(
+    single_machine_throughput: float,
+    machine_counts: Iterable[int] = (1, 2, 4, 8, 16),
+    model: ScalingModel = MACHINE_SCALING_MODEL,
+) -> List[Dict[str, float]]:
+    """Fig. 9b/9d: multi-machine speedup and aggregate throughput."""
+    return model.curve(machine_counts, single_machine_throughput)

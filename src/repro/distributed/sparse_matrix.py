@@ -1,0 +1,217 @@
+"""The ``AddEntry`` / ``VisitByRow`` / ``VisitByColumn`` framework (Fig. 2).
+
+The framework owns a ``D x V`` sparse matrix whose entries carry per-token
+data (for WarpLDA: the topic assignment plus the ``M`` proposals).  Exactly as
+in Sec. 5.2, only one copy of the entry data is stored, laid out in CSC order
+(grouped by column, sorted by row inside each column); rows are visited
+through an index array of pointers into that CSC storage, so ``VisitByRow``
+performs indirect — but cache-line-friendly — accesses while
+``VisitByColumn`` is fully sequential.
+
+User-defined operations receive a writable view of the entry data of one row
+(or column); mutations are written back into the single underlying store, so a
+subsequent visit in the other order observes them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["SparseMatrixFramework"]
+
+#: Signature of a user-defined operation: ``op(index, data) -> None`` where
+#: ``data`` is an ``(n_entries, data_width)`` array that may be modified in
+#: place.
+Operation = Callable[[int, np.ndarray], None]
+
+
+class SparseMatrixFramework:
+    """In-process implementation of the distributed sparse-matrix interface.
+
+    Parameters
+    ----------
+    num_rows, num_cols:
+        Matrix dimensions (documents x words for WarpLDA).
+    data_width:
+        Number of integers stored per entry (``M + 1`` for WarpLDA).
+    """
+
+    def __init__(self, num_rows: int, num_cols: int, data_width: int = 1):
+        if num_rows <= 0 or num_cols <= 0:
+            raise ValueError("matrix dimensions must be positive")
+        if data_width <= 0:
+            raise ValueError("data_width must be positive")
+        self.num_rows = int(num_rows)
+        self.num_cols = int(num_cols)
+        self.data_width = int(data_width)
+        self._pending_rows: list[int] = []
+        self._pending_cols: list[int] = []
+        self._pending_data: list[np.ndarray] = []
+        self._built = False
+
+        # Populated by build():
+        self._data: Optional[np.ndarray] = None          # CSC-ordered entry data
+        self._entry_rows: Optional[np.ndarray] = None    # row id of each CSC entry
+        self._entry_cols: Optional[np.ndarray] = None    # column id of each CSC entry
+        self._col_offsets: Optional[np.ndarray] = None   # CSC column offsets
+        self._row_pointers: Optional[np.ndarray] = None  # PCSR: entry index per row
+        self._row_offsets: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_entry(self, row: int, col: int, data) -> None:
+        """Add one entry at ``(row, col)`` with its per-entry data.
+
+        Only valid before :meth:`build`.  Multiple entries may share a cell.
+        """
+        if self._built:
+            raise RuntimeError("add_entry is only valid before build()")
+        if not 0 <= row < self.num_rows:
+            raise IndexError(f"row {row} out of range [0, {self.num_rows})")
+        if not 0 <= col < self.num_cols:
+            raise IndexError(f"col {col} out of range [0, {self.num_cols})")
+        data = np.asarray(data, dtype=np.int64).reshape(-1)
+        if data.shape != (self.data_width,):
+            raise ValueError(
+                f"entry data must have width {self.data_width}, got {data.shape}"
+            )
+        self._pending_rows.append(int(row))
+        self._pending_cols.append(int(col))
+        self._pending_data.append(data)
+
+    def build(self) -> "SparseMatrixFramework":
+        """Freeze the structure and lay the data out in CSC order."""
+        if self._built:
+            return self
+        if not self._pending_rows:
+            raise ValueError("cannot build an empty sparse matrix")
+        rows = np.array(self._pending_rows, dtype=np.int64)
+        cols = np.array(self._pending_cols, dtype=np.int64)
+        data = np.vstack(self._pending_data)
+
+        # CSC order: group by column, sorted by row id inside each column
+        # (the "entries sorted by row id" layout of Sec. 5.2).
+        order = np.lexsort((rows, cols))
+        self._entry_rows = rows[order]
+        self._entry_cols = cols[order]
+        self._data = data[order].copy()
+
+        col_counts = np.bincount(self._entry_cols, minlength=self.num_cols)
+        self._col_offsets = np.zeros(self.num_cols + 1, dtype=np.int64)
+        np.cumsum(col_counts, out=self._col_offsets[1:])
+
+        # Row pointers: for every row, the indices of its entries in the CSC
+        # storage, themselves ordered by column (a stable sort keeps the CSC
+        # order as the tiebreak).
+        row_order = np.argsort(self._entry_rows, kind="stable")
+        self._row_pointers = row_order
+        row_counts = np.bincount(self._entry_rows, minlength=self.num_rows)
+        self._row_offsets = np.zeros(self.num_rows + 1, dtype=np.int64)
+        np.cumsum(row_counts, out=self._row_offsets[1:])
+
+        self._pending_rows = []
+        self._pending_cols = []
+        self._pending_data = []
+        self._built = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_entries(self) -> int:
+        """Total number of entries (tokens)."""
+        if self._built:
+            return int(self._data.shape[0])
+        return len(self._pending_rows)
+
+    def row_size(self, row: int) -> int:
+        """Number of entries in ``row``."""
+        self._require_built()
+        return int(self._row_offsets[row + 1] - self._row_offsets[row])
+
+    def col_size(self, col: int) -> int:
+        """Number of entries in ``col``."""
+        self._require_built()
+        return int(self._col_offsets[col + 1] - self._col_offsets[col])
+
+    def row_entry_indices(self, row: int) -> np.ndarray:
+        """CSC entry indices of ``row`` (the PCSR pointers)."""
+        self._require_built()
+        return self._row_pointers[self._row_offsets[row] : self._row_offsets[row + 1]]
+
+    def col_entry_indices(self, col: int) -> np.ndarray:
+        """CSC entry indices of ``col`` (contiguous)."""
+        self._require_built()
+        return np.arange(self._col_offsets[col], self._col_offsets[col + 1])
+
+    def entry_data(self) -> np.ndarray:
+        """The underlying ``(num_entries, data_width)`` data array (live view)."""
+        self._require_built()
+        return self._data
+
+    def entry_rows(self) -> np.ndarray:
+        """Row id of every CSC entry (read-only view)."""
+        self._require_built()
+        return self._entry_rows
+
+    def entry_cols(self) -> np.ndarray:
+        """Column id of every CSC entry (read-only view)."""
+        self._require_built()
+        return self._entry_cols
+
+    # ------------------------------------------------------------------ #
+    # Visitors
+    # ------------------------------------------------------------------ #
+    def visit_by_row(self, operation: Operation) -> None:
+        """Call ``operation(row, data)`` for every non-empty row.
+
+        ``data`` is an ``(n, data_width)`` array of the row's entries (in
+        column order); in-place modifications are scattered back into the
+        store after the call returns.
+        """
+        self._require_built()
+        for row in range(self.num_rows):
+            indices = self.row_entry_indices(row)
+            if indices.size == 0:
+                continue
+            view = self._data[indices]
+            operation(row, view)
+            self._data[indices] = view
+
+    def visit_by_column(self, operation: Operation) -> None:
+        """Call ``operation(col, data)`` for every non-empty column."""
+        self._require_built()
+        for col in range(self.num_cols):
+            start, stop = self._col_offsets[col], self._col_offsets[col + 1]
+            if start == stop:
+                continue
+            view = self._data[start:stop]
+            operation(col, view)
+            # view is a slice (no copy); assignment back is a no-op but kept
+            # for symmetry with visit_by_row and future layouts.
+            self._data[start:stop] = view
+
+    # ------------------------------------------------------------------ #
+    def _require_built(self) -> None:
+        if not self._built:
+            raise RuntimeError("call build() before using the matrix")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_corpus(cls, corpus, data_width: int = 1) -> "SparseMatrixFramework":
+        """Build the token matrix ``Y`` of a corpus (one entry per token).
+
+        Each entry's data is initialised to zeros; WarpLDA fills it with the
+        topic assignment and proposals.
+        """
+        framework = cls(corpus.num_documents, corpus.vocabulary_size, data_width)
+        zeros = np.zeros(data_width, dtype=np.int64)
+        for doc, word in zip(
+            corpus.token_documents.tolist(), corpus.token_words.tolist()
+        ):
+            framework.add_entry(doc, word, zeros)
+        return framework.build()

@@ -1,0 +1,36 @@
+"""Model-quality evaluation: likelihood, perplexity, coherence, convergence.
+
+The paper's headline metric is the **log joint likelihood**
+``log p(W, Z | α, β)`` (Sec. 6.1); :func:`log_joint_likelihood` implements it
+exactly.  The remaining utilities (held-out perplexity, topic coherence, top
+words, convergence tracking and speedup ratios) support the example
+applications and the Fig. 5 style comparisons.
+"""
+
+from repro.evaluation.coherence import topic_coherence, top_words
+from repro.evaluation.convergence import (
+    ConvergenceRecord,
+    ConvergenceTracker,
+    iterations_to_reach,
+    speedup_ratio,
+    time_to_reach,
+)
+from repro.evaluation.likelihood import (
+    log_joint_likelihood,
+    log_joint_likelihood_from_assignments,
+)
+from repro.evaluation.perplexity import held_out_perplexity
+
+__all__ = [
+    "ConvergenceRecord",
+    "ConvergenceTracker",
+    "held_out_perplexity",
+    "iterations_to_reach",
+    "log_joint_likelihood",
+    "log_joint_likelihood_from_assignments",
+    "speedup_ratio",
+    "time_to_reach",
+    "top_words",
+    "topic_coherence",
+    "time_to_reach",
+]

@@ -1,0 +1,90 @@
+"""Topic quality diagnostics: top words and UMass topic coherence."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.corpus.corpus import Corpus
+
+__all__ = ["top_words", "topic_coherence"]
+
+
+def top_words(
+    phi: np.ndarray,
+    vocabulary,
+    num_words: int = 10,
+) -> List[List[str]]:
+    """Return the ``num_words`` highest-probability words of every topic.
+
+    Parameters
+    ----------
+    phi:
+        ``K x V`` topic-word distribution.
+    vocabulary:
+        A :class:`~repro.corpus.vocabulary.Vocabulary` (or anything with a
+        ``word(id)`` method).
+    """
+    phi = np.asarray(phi, dtype=np.float64)
+    if phi.ndim != 2:
+        raise ValueError("phi must be a K x V matrix")
+    if num_words <= 0:
+        raise ValueError("num_words must be positive")
+    num_words = min(num_words, phi.shape[1])
+    result = []
+    for topic in phi:
+        order = np.argsort(topic)[::-1][:num_words]
+        result.append([vocabulary.word(int(word_id)) for word_id in order])
+    return result
+
+
+def topic_coherence(
+    phi: np.ndarray,
+    corpus: Corpus,
+    num_words: int = 10,
+    epsilon: float = 1.0,
+) -> np.ndarray:
+    """UMass coherence of each topic.
+
+    ``C(t) = Σ_{i<j} log ((co_doc_count(w_i, w_j) + ε) / doc_count(w_j))`` over
+    the topic's ``num_words`` top words, where document counts come from
+    ``corpus``.  Higher (closer to zero) is better.
+    """
+    phi = np.asarray(phi, dtype=np.float64)
+    if phi.ndim != 2:
+        raise ValueError("phi must be a K x V matrix")
+    if phi.shape[1] != corpus.vocabulary_size:
+        raise ValueError(
+            f"phi has {phi.shape[1]} words but the corpus vocabulary has "
+            f"{corpus.vocabulary_size}"
+        )
+    num_words = min(num_words, phi.shape[1])
+
+    # Document frequency and co-document frequency restricted to the words we
+    # actually need (the union of all topics' top words).
+    top_ids = [np.argsort(topic)[::-1][:num_words] for topic in phi]
+    needed = np.unique(np.concatenate(top_ids))
+    column_of = {int(word): i for i, word in enumerate(needed)}
+
+    presence = np.zeros((corpus.num_documents, needed.size), dtype=bool)
+    for doc_index in range(corpus.num_documents):
+        words = np.unique(corpus.document_words(doc_index))
+        for word in words:
+            column = column_of.get(int(word))
+            if column is not None:
+                presence[doc_index, column] = True
+    doc_freq = presence.sum(axis=0).astype(np.float64)
+    co_freq = (presence.T.astype(np.float64) @ presence.astype(np.float64))
+
+    coherences = np.zeros(phi.shape[0])
+    for topic_index, words in enumerate(top_ids):
+        score = 0.0
+        for j in range(1, len(words)):
+            for i in range(j):
+                wi = column_of[int(words[i])]
+                wj = column_of[int(words[j])]
+                denominator = max(doc_freq[wj], 1.0)
+                score += float(np.log((co_freq[wi, wj] + epsilon) / denominator))
+        coherences[topic_index] = score
+    return coherences

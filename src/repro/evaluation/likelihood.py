@@ -1,0 +1,135 @@
+"""Log joint likelihood ``log p(W, Z | α, β)``.
+
+This is the metric used throughout the paper's evaluation (Sec. 6.1):
+
+.. math::
+
+    L = \\sum_d \\Big[\\log\\frac{\\Gamma(\\bar\\alpha)}{\\Gamma(\\bar\\alpha+L_d)}
+        + \\sum_k \\log\\frac{\\Gamma(\\alpha_k+C_{dk})}{\\Gamma(\\alpha_k)}\\Big]
+      + \\sum_k \\Big[\\log\\frac{\\Gamma(\\bar\\beta)}{\\Gamma(\\bar\\beta+C_k)}
+        + \\sum_w \\log\\frac{\\Gamma(\\beta+C_{kw})}{\\Gamma(\\beta)}\\Big]
+
+Only non-zero counts contribute to the inner sums, which keeps the computation
+cheap even for large sparse count matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+from scipy.special import gammaln
+
+__all__ = ["log_joint_likelihood", "log_joint_likelihood_from_assignments"]
+
+
+def _as_alpha_vector(alpha: Union[float, np.ndarray], num_topics: int) -> np.ndarray:
+    alpha = np.asarray(alpha, dtype=np.float64)
+    if alpha.ndim == 0:
+        alpha = np.full(num_topics, float(alpha))
+    if alpha.shape != (num_topics,):
+        raise ValueError(
+            f"alpha must be a scalar or a vector of length {num_topics}, got shape {alpha.shape}"
+        )
+    if np.any(alpha <= 0):
+        raise ValueError("alpha entries must be positive")
+    return alpha
+
+
+def log_joint_likelihood(
+    doc_topic: np.ndarray,
+    word_topic: np.ndarray,
+    alpha: Union[float, np.ndarray],
+    beta: float,
+) -> float:
+    """Compute ``log p(W, Z | α, β)`` from the count matrices.
+
+    Parameters
+    ----------
+    doc_topic:
+        ``D x K`` matrix of counts ``C_dk``.
+    word_topic:
+        ``V x K`` matrix of counts ``C_wk``.
+    alpha:
+        Scalar (symmetric) or length-``K`` Dirichlet parameter of θ.
+    beta:
+        Symmetric Dirichlet parameter of φ.
+    """
+    doc_topic = np.asarray(doc_topic)
+    word_topic = np.asarray(word_topic)
+    if doc_topic.ndim != 2 or word_topic.ndim != 2:
+        raise ValueError("doc_topic and word_topic must be 2-D count matrices")
+    if doc_topic.shape[1] != word_topic.shape[1]:
+        raise ValueError(
+            "doc_topic and word_topic must agree on the number of topics, got "
+            f"{doc_topic.shape[1]} and {word_topic.shape[1]}"
+        )
+    if doc_topic.sum() != word_topic.sum():
+        raise ValueError(
+            "doc_topic and word_topic must contain the same total number of tokens"
+        )
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+
+    num_topics = doc_topic.shape[1]
+    vocabulary_size = word_topic.shape[0]
+    alpha_vector = _as_alpha_vector(alpha, num_topics)
+    alpha_sum = float(alpha_vector.sum())
+    beta_sum = float(beta * vocabulary_size)
+
+    doc_lengths = doc_topic.sum(axis=1).astype(np.float64)
+    topic_counts = word_topic.sum(axis=0).astype(np.float64)
+
+    # Document part.  gammaln(alpha_k + C_dk) - gammaln(alpha_k) is zero for
+    # zero counts, so restrict to the non-zero entries.
+    doc_rows, doc_cols = np.nonzero(doc_topic)
+    doc_part = float(
+        np.sum(
+            gammaln(alpha_vector[doc_cols] + doc_topic[doc_rows, doc_cols])
+            - gammaln(alpha_vector[doc_cols])
+        )
+    )
+    doc_part += float(
+        np.sum(gammaln(alpha_sum) - gammaln(alpha_sum + doc_lengths))
+    )
+
+    # Topic/word part.
+    word_rows, word_cols = np.nonzero(word_topic)
+    word_part = float(
+        np.sum(gammaln(beta + word_topic[word_rows, word_cols]) - gammaln(beta))
+    )
+    word_part += float(
+        np.sum(gammaln(beta_sum) - gammaln(beta_sum + topic_counts))
+    )
+
+    return doc_part + word_part
+
+
+def log_joint_likelihood_from_assignments(
+    token_documents: np.ndarray,
+    token_words: np.ndarray,
+    assignments: np.ndarray,
+    num_documents: int,
+    vocabulary_size: int,
+    num_topics: int,
+    alpha: Union[float, np.ndarray],
+    beta: float,
+) -> float:
+    """Compute ``log p(W, Z | α, β)`` directly from per-token assignments.
+
+    Used by WarpLDA, which does not store the count matrices; they are built
+    here on the fly.
+    """
+    token_documents = np.asarray(token_documents, dtype=np.int64)
+    token_words = np.asarray(token_words, dtype=np.int64)
+    assignments = np.asarray(assignments, dtype=np.int64)
+    if not (token_documents.shape == token_words.shape == assignments.shape):
+        raise ValueError("token_documents, token_words and assignments must align")
+    if assignments.size and (assignments.min() < 0 or assignments.max() >= num_topics):
+        raise ValueError("assignments contain out-of-range topics")
+
+    doc_topic = np.zeros((num_documents, num_topics), dtype=np.int64)
+    np.add.at(doc_topic, (token_documents, assignments), 1)
+    word_topic = np.zeros((vocabulary_size, num_topics), dtype=np.int64)
+    np.add.at(word_topic, (token_words, assignments), 1)
+    return log_joint_likelihood(doc_topic, word_topic, alpha, beta)

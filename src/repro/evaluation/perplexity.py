@@ -1,0 +1,73 @@
+"""Held-out perplexity for trained topic models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corpus.corpus import Corpus
+
+__all__ = ["held_out_perplexity", "document_topic_inference"]
+
+
+def document_topic_inference(
+    corpus: Corpus,
+    phi: np.ndarray,
+    alpha: float,
+    num_iterations: int = 30,
+) -> np.ndarray:
+    """Fold-in inference of θ for held-out documents given fixed φ.
+
+    Uses fixed-point EM updates of the document-topic proportions, which is
+    the standard "fold-in" evaluation for LDA when φ is held fixed.
+    """
+    phi = np.asarray(phi, dtype=np.float64)
+    if phi.ndim != 2:
+        raise ValueError("phi must be a K x V matrix")
+    num_topics = phi.shape[0]
+    if num_iterations <= 0:
+        raise ValueError("num_iterations must be positive")
+
+    theta = np.full((corpus.num_documents, num_topics), 1.0 / num_topics)
+    for doc_index in range(corpus.num_documents):
+        words = corpus.document_words(doc_index)
+        if words.size == 0:
+            continue
+        word_probs = phi[:, words]  # K x L_d
+        proportions = theta[doc_index]
+        for _ in range(num_iterations):
+            responsibilities = word_probs * proportions[:, None]
+            normaliser = responsibilities.sum(axis=0)
+            normaliser[normaliser == 0] = 1e-300
+            responsibilities /= normaliser
+            proportions = responsibilities.sum(axis=1) + alpha
+            proportions /= proportions.sum()
+        theta[doc_index] = proportions
+    return theta
+
+
+def held_out_perplexity(
+    corpus: Corpus,
+    phi: np.ndarray,
+    alpha: float,
+    num_iterations: int = 30,
+) -> float:
+    """Perplexity of ``corpus`` under topics ``phi`` with folded-in θ.
+
+    Lower is better.  ``phi`` is the ``K x V`` topic-word distribution (rows
+    sum to one), e.g. the output of a trained sampler's ``phi()``.
+    """
+    phi = np.asarray(phi, dtype=np.float64)
+    theta = document_topic_inference(corpus, phi, alpha, num_iterations)
+    log_likelihood = 0.0
+    total_tokens = 0
+    for doc_index in range(corpus.num_documents):
+        words = corpus.document_words(doc_index)
+        if words.size == 0:
+            continue
+        token_probs = theta[doc_index] @ phi[:, words]
+        token_probs = np.maximum(token_probs, 1e-300)
+        log_likelihood += float(np.log(token_probs).sum())
+        total_tokens += int(words.size)
+    if total_tokens == 0:
+        raise ValueError("corpus has no tokens")
+    return float(np.exp(-log_likelihood / total_tokens))

@@ -1,0 +1,5 @@
+"""Reporting helpers shared by the benchmark harness."""
+
+from repro.report.tables import format_series, format_table
+
+__all__ = ["format_series", "format_table"]

@@ -1,0 +1,68 @@
+"""Plain-text table and series formatting for benchmark output.
+
+The benchmark harness prints the rows / series of every paper table and
+figure; these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
+
+__all__ = ["format_table", "format_series"]
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, Cell]], title: str = "") -> str:
+    """Format a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_format_cell(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Iterable[float]], x_label: str, x_values: Iterable[float],
+    title: str = ""
+) -> str:
+    """Format named y-series over shared x-values as a table."""
+    x_list = list(x_values)
+    rows: List[Dict[str, Cell]] = []
+    materialised = {name: list(values) for name, values in series.items()}
+    for index, x_value in enumerate(x_list):
+        row: Dict[str, Cell] = {x_label: x_value}
+        for name, values in materialised.items():
+            row[name] = values[index] if index < len(values) else None
+        rows.append(row)
+    return format_table(rows, title=title)

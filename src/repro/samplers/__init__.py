@@ -1,0 +1,36 @@
+"""Baseline LDA samplers.
+
+These are the algorithms the paper analyses and compares against (Table 2):
+
+* :class:`~repro.samplers.cgs.CollapsedGibbsSampler` — plain collapsed Gibbs
+  sampling, O(K) per token (Griffiths & Steyvers 2004).
+* :class:`~repro.samplers.sparselda.SparseLDASampler` — the three-bucket
+  sparsity-aware decomposition of Yao et al. (KDD 2009).
+* :class:`~repro.samplers.aliaslda.AliasLDASampler` — sparse document part plus
+  a stale alias-table word proposal with MH correction (Li et al., KDD 2014).
+* :class:`~repro.samplers.fpluslda.FPlusLDASampler` — word-by-word exact
+  sampling with an F+ tree (Yu et al., WWW 2015).
+* :class:`~repro.samplers.lightlda.LightLDASampler` — O(1) cycle
+  Metropolis-Hastings proposals (Yuan et al., WWW 2015).
+
+All of them share :class:`~repro.samplers.base.LDASampler` /
+:class:`~repro.samplers.base.TopicState`, so they are interchangeable in the
+benchmark harness and the example applications.
+"""
+
+from repro.samplers.aliaslda import AliasLDASampler
+from repro.samplers.base import LDASampler, TopicState
+from repro.samplers.cgs import CollapsedGibbsSampler
+from repro.samplers.fpluslda import FPlusLDASampler
+from repro.samplers.lightlda import LightLDASampler
+from repro.samplers.sparselda import SparseLDASampler
+
+__all__ = [
+    "AliasLDASampler",
+    "CollapsedGibbsSampler",
+    "FPlusLDASampler",
+    "LDASampler",
+    "LightLDASampler",
+    "SparseLDASampler",
+    "TopicState",
+]

@@ -1,0 +1,258 @@
+"""Shared infrastructure for collapsed-Gibbs-style LDA samplers.
+
+:class:`TopicState` owns the per-token topic assignments ``Z`` and the three
+count structures of Eq. (1): the document-topic matrix ``C_d``, the word-topic
+matrix ``C_w`` and the global topic vector ``c_k``.  :class:`LDASampler` is the
+abstract base every baseline derives from; it provides hyper-parameter
+handling (α = 50/K, β = 0.01 by default, as in Sec. 6.1), the ``fit`` loop
+with optional convergence tracking, and the Θ / Φ point estimates.
+
+WarpLDA does **not** derive from this class — by design it stores no count
+matrices (see :mod:`repro.core.warplda`) — but exposes the same ``fit`` /
+``log_likelihood`` / ``phi`` interface so the benchmark harness can treat all
+samplers uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.corpus.corpus import Corpus
+from repro.evaluation.convergence import ConvergenceTracker
+from repro.evaluation.likelihood import log_joint_likelihood
+from repro.sampling.rng import RngLike, ensure_rng
+
+__all__ = ["TopicState", "LDASampler", "resolve_hyperparameters"]
+
+
+def resolve_hyperparameters(
+    num_topics: int,
+    alpha: Optional[Union[float, np.ndarray]],
+    beta: float,
+    vocabulary_size: int,
+) -> tuple[np.ndarray, float, float, float]:
+    """Return ``(alpha_vector, alpha_sum, beta, beta_sum)``.
+
+    ``alpha=None`` resolves to the paper's default 50/K (symmetric).
+    """
+    if num_topics <= 0:
+        raise ValueError(f"num_topics must be positive, got {num_topics}")
+    if alpha is None:
+        alpha = 50.0 / num_topics
+    alpha_vector = np.asarray(alpha, dtype=np.float64)
+    if alpha_vector.ndim == 0:
+        alpha_vector = np.full(num_topics, float(alpha_vector))
+    if alpha_vector.shape != (num_topics,):
+        raise ValueError(
+            f"alpha must be a scalar or length-{num_topics} vector, got shape "
+            f"{alpha_vector.shape}"
+        )
+    if np.any(alpha_vector <= 0):
+        raise ValueError("alpha entries must be positive")
+    if beta <= 0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    return alpha_vector, float(alpha_vector.sum()), float(beta), float(beta * vocabulary_size)
+
+
+class TopicState:
+    """Topic assignments plus the count matrices of collapsed Gibbs sampling.
+
+    Parameters
+    ----------
+    corpus:
+        The corpus being sampled.
+    num_topics:
+        Number of topics ``K``.
+    rng:
+        Seed or generator used for the random initial assignment.
+    assignments:
+        Optional explicit initial assignments (length ``num_tokens``); if
+        omitted, topics are drawn uniformly at random.
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        num_topics: int,
+        rng: RngLike = None,
+        assignments: Optional[np.ndarray] = None,
+    ):
+        if num_topics <= 0:
+            raise ValueError(f"num_topics must be positive, got {num_topics}")
+        self.corpus = corpus
+        self.num_topics = int(num_topics)
+        rng = ensure_rng(rng)
+
+        if assignments is None:
+            assignments = rng.integers(num_topics, size=corpus.num_tokens)
+        assignments = np.asarray(assignments, dtype=np.int64)
+        if assignments.shape != (corpus.num_tokens,):
+            raise ValueError(
+                f"assignments must have length {corpus.num_tokens}, got shape "
+                f"{assignments.shape}"
+            )
+        if assignments.size and (assignments.min() < 0 or assignments.max() >= num_topics):
+            raise ValueError("assignments contain out-of-range topics")
+        self.assignments = assignments
+
+        self.doc_topic = np.zeros((corpus.num_documents, num_topics), dtype=np.int64)
+        self.word_topic = np.zeros((corpus.vocabulary_size, num_topics), dtype=np.int64)
+        self.topic_counts = np.zeros(num_topics, dtype=np.int64)
+        self.recompute_counts()
+
+    # ------------------------------------------------------------------ #
+    def recompute_counts(self) -> None:
+        """Rebuild all three count structures from the assignments."""
+        self.doc_topic[:] = 0
+        self.word_topic[:] = 0
+        np.add.at(
+            self.doc_topic, (self.corpus.token_documents, self.assignments), 1
+        )
+        np.add.at(self.word_topic, (self.corpus.token_words, self.assignments), 1)
+        self.topic_counts = self.word_topic.sum(axis=0)
+
+    def remove_token(self, token_index: int) -> int:
+        """Decrement all counts for one token and return its current topic."""
+        topic = int(self.assignments[token_index])
+        doc = int(self.corpus.token_documents[token_index])
+        word = int(self.corpus.token_words[token_index])
+        self.doc_topic[doc, topic] -= 1
+        self.word_topic[word, topic] -= 1
+        self.topic_counts[topic] -= 1
+        return topic
+
+    def assign_token(self, token_index: int, topic: int) -> None:
+        """Set the topic of one token and increment all counts."""
+        doc = int(self.corpus.token_documents[token_index])
+        word = int(self.corpus.token_words[token_index])
+        self.assignments[token_index] = topic
+        self.doc_topic[doc, topic] += 1
+        self.word_topic[word, topic] += 1
+        self.topic_counts[topic] += 1
+
+    def check_consistency(self) -> bool:
+        """Verify that the count matrices match the assignments exactly."""
+        doc_topic = np.zeros_like(self.doc_topic)
+        word_topic = np.zeros_like(self.word_topic)
+        np.add.at(doc_topic, (self.corpus.token_documents, self.assignments), 1)
+        np.add.at(word_topic, (self.corpus.token_words, self.assignments), 1)
+        return (
+            np.array_equal(doc_topic, self.doc_topic)
+            and np.array_equal(word_topic, self.word_topic)
+            and np.array_equal(word_topic.sum(axis=0), self.topic_counts)
+        )
+
+
+class LDASampler(abc.ABC):
+    """Abstract base class of all count-matrix-based LDA samplers.
+
+    Parameters
+    ----------
+    corpus:
+        Corpus to train on.
+    num_topics:
+        Number of topics ``K``.
+    alpha:
+        Symmetric scalar or length-``K`` document Dirichlet parameter;
+        defaults to ``50 / K`` (paper, Sec. 6.1).
+    beta:
+        Symmetric word Dirichlet parameter; defaults to ``0.01``.
+    seed:
+        Seed or generator controlling both the initial assignment and the
+        sampling trajectory.
+    """
+
+    #: Human-readable algorithm name used in benchmark tables.
+    name: str = "lda"
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        num_topics: int,
+        alpha: Optional[Union[float, np.ndarray]] = None,
+        beta: float = 0.01,
+        seed: RngLike = None,
+    ):
+        self.corpus = corpus
+        self.num_topics = int(num_topics)
+        self.alpha, self.alpha_sum, self.beta, self.beta_sum = resolve_hyperparameters(
+            num_topics, alpha, beta, corpus.vocabulary_size
+        )
+        self.rng = ensure_rng(seed)
+        self.state = TopicState(corpus, num_topics, rng=self.rng)
+        self.iterations_completed = 0
+
+    # ------------------------------------------------------------------ #
+    # Training loop
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _sample_iteration(self) -> None:
+        """Run one full sweep over all tokens (algorithm specific)."""
+
+    def fit(
+        self,
+        num_iterations: int,
+        tracker: Optional[ConvergenceTracker] = None,
+        evaluate_every: int = 1,
+    ) -> "LDASampler":
+        """Run ``num_iterations`` sweeps, optionally recording convergence.
+
+        Parameters
+        ----------
+        num_iterations:
+            Number of full passes over the corpus.
+        tracker:
+            Optional :class:`ConvergenceTracker`; if given, the log joint
+            likelihood is recorded every ``evaluate_every`` iterations.
+        evaluate_every:
+            Evaluation stride (evaluation itself is not free).
+        """
+        if num_iterations < 0:
+            raise ValueError(f"num_iterations must be non-negative, got {num_iterations}")
+        if evaluate_every <= 0:
+            raise ValueError(f"evaluate_every must be positive, got {evaluate_every}")
+        if tracker is not None:
+            tracker.start()
+        for _ in range(num_iterations):
+            self._sample_iteration()
+            self.iterations_completed += 1
+            if tracker is not None and self.iterations_completed % evaluate_every == 0:
+                tracker.record(
+                    iteration=self.iterations_completed,
+                    log_likelihood=self.log_likelihood(),
+                    tokens_processed=self.iterations_completed * self.corpus.num_tokens,
+                )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Model access
+    # ------------------------------------------------------------------ #
+    def log_likelihood(self) -> float:
+        """Log joint likelihood ``log p(W, Z | α, β)`` of the current state."""
+        return log_joint_likelihood(
+            self.state.doc_topic, self.state.word_topic, self.alpha, self.beta
+        )
+
+    def theta(self) -> np.ndarray:
+        """Posterior-mean estimate of the document-topic proportions Θ."""
+        counts = self.state.doc_topic.astype(np.float64) + self.alpha
+        return counts / counts.sum(axis=1, keepdims=True)
+
+    def phi(self) -> np.ndarray:
+        """Posterior-mean estimate of the topic-word distributions Φ (K x V)."""
+        counts = self.state.word_topic.T.astype(np.float64) + self.beta
+        return counts / counts.sum(axis=1, keepdims=True)
+
+    @property
+    def assignments(self) -> np.ndarray:
+        """Per-token topic assignments (aligned with the corpus token order)."""
+        return self.state.assignments
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(K={self.num_topics}, D={self.corpus.num_documents}, "
+            f"iterations={self.iterations_completed})"
+        )

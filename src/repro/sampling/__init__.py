@@ -1,0 +1,36 @@
+"""Low-level sampling primitives used throughout the library.
+
+The WarpLDA paper builds on three sampling tools (Sec. 2.2):
+
+* **Alias sampling** (:class:`~repro.sampling.alias.AliasTable`) — O(1) draws
+  from a fixed discrete distribution after O(K) construction.
+* **Mixture-of-multinomials decomposition**
+  (:func:`~repro.sampling.discrete.sample_mixture`) — draw from ``p(x) ∝ A_x +
+  B_x`` by first flipping a Bernoulli coin between the two components.
+* **Metropolis–Hastings chains** (:class:`~repro.sampling.mh.MetropolisHastings`)
+  — the generic Alg. 1 of the paper.
+
+The F+ tree (:class:`~repro.sampling.ftree.FPlusTree`) is the data structure
+used by the F+LDA baseline for exact sampling with cheap single-weight updates.
+"""
+
+from repro.sampling.alias import AliasTable
+from repro.sampling.discrete import (
+    sample_discrete,
+    sample_mixture,
+    sample_unnormalized,
+)
+from repro.sampling.ftree import FPlusTree
+from repro.sampling.mh import MetropolisHastings, mh_accept
+from repro.sampling.rng import ensure_rng
+
+__all__ = [
+    "AliasTable",
+    "FPlusTree",
+    "MetropolisHastings",
+    "ensure_rng",
+    "mh_accept",
+    "sample_discrete",
+    "sample_mixture",
+    "sample_unnormalized",
+]

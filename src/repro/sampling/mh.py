@@ -1,0 +1,122 @@
+"""Generic Metropolis–Hastings machinery (Alg. 1 of the paper).
+
+The LDA samplers implement their MH steps inline for speed, but this module
+provides the reference implementation used in tests to validate that the
+specialised acceptance-rate formulas (Eq. 7) agree with the generic rule
+``π = min{1, p(x̂) q(x|x̂) / (p(x) q(x̂|x))}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.sampling.rng import RngLike, ensure_rng
+
+__all__ = ["MetropolisHastings", "mh_accept", "mh_acceptance_probability"]
+
+
+def mh_acceptance_probability(
+    target_current: float,
+    target_proposed: float,
+    proposal_current_given_proposed: float,
+    proposal_proposed_given_current: float,
+) -> float:
+    """Return ``min{1, p(x̂) q(x|x̂) / (p(x) q(x̂|x))}``.
+
+    All four arguments are unnormalised densities; shared normalising
+    constants cancel.
+    """
+    if target_current < 0 or target_proposed < 0:
+        raise ValueError("target densities must be non-negative")
+    if proposal_current_given_proposed < 0 or proposal_proposed_given_current < 0:
+        raise ValueError("proposal densities must be non-negative")
+    denominator = target_current * proposal_proposed_given_current
+    if denominator <= 0:
+        # The proposed state is always accepted if the current state has zero
+        # density under the target (the chain should escape immediately).
+        return 1.0
+    ratio = (target_proposed * proposal_current_given_proposed) / denominator
+    return min(1.0, ratio)
+
+
+def mh_accept(
+    target_current: float,
+    target_proposed: float,
+    proposal_current_given_proposed: float,
+    proposal_proposed_given_current: float,
+    rng: RngLike = None,
+) -> bool:
+    """Flip the MH acceptance coin for a single proposed move."""
+    probability = mh_acceptance_probability(
+        target_current,
+        target_proposed,
+        proposal_current_given_proposed,
+        proposal_proposed_given_current,
+    )
+    rng = ensure_rng(rng)
+    return rng.random() < probability
+
+
+@dataclass
+class MetropolisHastings:
+    """A generic MH chain over integer states.
+
+    Parameters
+    ----------
+    target:
+        Unnormalised target density ``p(x)``.
+    propose:
+        Draws ``x̂ ~ q(·|x)`` given the current state.
+    proposal_density:
+        Evaluates ``q(x̂|x)``.
+    rng:
+        Seed or generator for reproducibility.
+    """
+
+    target: Callable[[int], float]
+    propose: Callable[[int, np.random.Generator], int]
+    proposal_density: Callable[[int, int], float]
+    rng: RngLike = None
+    accepted: int = field(default=0, init=False)
+    proposed: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self._rng = ensure_rng(self.rng)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of proposals accepted so far (0 if none proposed)."""
+        if self.proposed == 0:
+            return 0.0
+        return self.accepted / self.proposed
+
+    def step(self, state: int) -> int:
+        """Perform one MH step from ``state`` and return the next state."""
+        candidate = self.propose(state, self._rng)
+        self.proposed += 1
+        accept = mh_accept(
+            target_current=self.target(state),
+            target_proposed=self.target(candidate),
+            proposal_current_given_proposed=self.proposal_density(state, candidate),
+            proposal_proposed_given_current=self.proposal_density(candidate, state),
+            rng=self._rng,
+        )
+        if accept:
+            self.accepted += 1
+            return candidate
+        return state
+
+    def run(self, initial_state: int, steps: int) -> List[int]:
+        """Run ``steps`` MH steps and return the visited states (excluding
+        the initial state)."""
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        states = []
+        state = initial_state
+        for _ in range(steps):
+            state = self.step(state)
+            states.append(state)
+        return states

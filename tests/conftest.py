@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus import Corpus, SyntheticCorpusSpec, Vocabulary, generate_lda_corpus
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_corpus():
+    """A hand-built 4-document corpus over a 6-word vocabulary."""
+    vocabulary = Vocabulary(["ios", "android", "apple", "iphone", "orange", "fruit"])
+    token_lists = [
+        ["ios", "android", "apple", "iphone", "apple", "ios"],
+        ["apple", "orange", "fruit", "orange"],
+        ["ios", "iphone", "android", "ios", "ios"],
+        ["fruit", "orange", "apple", "fruit", "orange", "apple", "fruit"],
+    ]
+    return Corpus.from_token_lists(token_lists, vocabulary)
+
+
+@pytest.fixture
+def small_corpus():
+    """A small LDA-generated corpus with genuine topical structure."""
+    spec = SyntheticCorpusSpec(
+        num_documents=25,
+        vocabulary_size=60,
+        mean_document_length=40,
+        num_topics=5,
+    )
+    return generate_lda_corpus(spec, rng=7)
+
+
+@pytest.fixture
+def medium_corpus():
+    """A slightly larger corpus for convergence-oriented tests."""
+    spec = SyntheticCorpusSpec(
+        num_documents=60,
+        vocabulary_size=120,
+        mean_document_length=60,
+        num_topics=8,
+    )
+    return generate_lda_corpus(spec, rng=11)

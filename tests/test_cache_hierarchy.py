@@ -1,0 +1,60 @@
+"""Tests for the memory-hierarchy description (Table 1)."""
+
+import pytest
+
+from repro.cache import CacheLevelConfig, IVY_BRIDGE_HIERARCHY, MemoryHierarchyConfig
+
+
+class TestCacheLevelConfig:
+    def test_derived_geometry(self):
+        level = CacheLevelConfig("L1D", 32 * 1024, 5, line_size=64, associativity=8)
+        assert level.num_lines == 512
+        assert level.num_sets == 64
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": "x", "size_bytes": 0, "latency_cycles": 1},
+            {"name": "x", "size_bytes": 64, "latency_cycles": 0},
+            {"name": "x", "size_bytes": 1024, "latency_cycles": 1, "line_size": 48},
+            {"name": "x", "size_bytes": 64, "latency_cycles": 1, "associativity": 4},
+        ],
+    )
+    def test_invalid_configuration_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            CacheLevelConfig(**kwargs)
+
+
+class TestHierarchy:
+    def test_table1_values(self):
+        rows = IVY_BRIDGE_HIERARCHY.table_rows()
+        by_level = {row["level"]: row for row in rows}
+        assert by_level["L1D"]["latency_cycles"] == 5
+        assert by_level["L1D"]["size_bytes"] == 32 * 1024
+        assert by_level["L2"]["latency_cycles"] == 12
+        assert by_level["L3"]["size_bytes"] == 30 * 1024 * 1024
+        assert by_level["Main memory"]["latency_cycles"] == 180
+
+    def test_level_lookup(self):
+        assert IVY_BRIDGE_HIERARCHY.level("L3").latency_cycles == 30
+        with pytest.raises(KeyError):
+            IVY_BRIDGE_HIERARCHY.level("L4")
+
+    def test_levels_must_grow(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchyConfig(
+                levels=(
+                    CacheLevelConfig("big", 4096, 5),
+                    CacheLevelConfig("small", 1024, 10),
+                )
+            )
+
+    def test_scaled_keeps_latencies_and_shrinks_sizes(self):
+        scaled = IVY_BRIDGE_HIERARCHY.scaled(0.001)
+        assert scaled.level("L3").latency_cycles == 30
+        assert scaled.level("L3").size_bytes < IVY_BRIDGE_HIERARCHY.level("L3").size_bytes
+        assert scaled.level("L1D").size_bytes >= 64 * 8  # clamped to one set
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(ValueError):
+            IVY_BRIDGE_HIERARCHY.scaled(0.0)

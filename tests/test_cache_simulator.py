@@ -1,0 +1,97 @@
+"""Tests for the set-associative LRU cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheLevelConfig, CacheSimulator, HierarchySimulator, MemoryHierarchyConfig
+
+
+def tiny_hierarchy():
+    return MemoryHierarchyConfig(
+        levels=(
+            CacheLevelConfig("L1D", 512, 1, line_size=64, associativity=2),
+            CacheLevelConfig("L3", 4096, 10, line_size=64, associativity=4),
+        ),
+        memory_latency_cycles=100,
+    )
+
+
+class TestCacheSimulator:
+    def test_first_access_misses_second_hits(self):
+        cache = CacheSimulator(CacheLevelConfig("L1", 512, 1, associativity=2))
+        assert cache.access(0) is False
+        assert cache.access(8) is True  # same 64-byte line
+        assert cache.statistics.accesses == 2
+        assert cache.statistics.hits == 1
+        assert cache.statistics.miss_rate == pytest.approx(0.5)
+
+    def test_lru_eviction(self):
+        # 2-way cache with 4 sets (512B/64B/2): three lines mapping to the
+        # same set evict the least recently used one.
+        cache = CacheSimulator(CacheLevelConfig("L1", 512, 1, associativity=2))
+        set_stride = 64 * 4  # lines that share a set differ by num_sets lines
+        a, b, c = 0, set_stride, 2 * set_stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)          # evicts a (LRU)
+        assert cache.access(b) is True
+        assert cache.access(a) is False
+
+    def test_working_set_within_capacity_always_hits_after_warmup(self):
+        cache = CacheSimulator(CacheLevelConfig("L1", 4096, 1, associativity=8))
+        addresses = np.arange(0, 2048, 8)
+        for address in addresses:
+            cache.access(int(address))
+        warm_hits_before = cache.statistics.hits
+        for address in addresses:
+            assert cache.access(int(address)) is True
+        assert cache.statistics.hits == warm_hits_before + addresses.size
+
+    def test_reset_clears_state(self):
+        cache = CacheSimulator(CacheLevelConfig("L1", 512, 1))
+        cache.access(0)
+        cache.reset()
+        assert cache.statistics.accesses == 0
+        assert cache.access(0) is False
+
+
+class TestHierarchySimulator:
+    def test_access_levels_and_latency(self):
+        simulator = HierarchySimulator(tiny_hierarchy())
+        assert simulator.access(0) == "memory"
+        assert simulator.access(0) == "L1D"
+        # Cost: (1 + 10 + 100) for the miss + 1 for the L1 hit.
+        assert simulator.total_cycles == 1 + 10 + 100 + 1
+        assert simulator.total_accesses == 2
+        assert simulator.average_latency() == pytest.approx(56.0)
+
+    def test_l3_hit_after_l1_eviction(self):
+        simulator = HierarchySimulator(tiny_hierarchy())
+        # Touch enough distinct lines to overflow L1 (8 lines) but not L3 (64).
+        addresses = [i * 64 for i in range(32)]
+        for address in addresses:
+            simulator.access(address)
+        served = [simulator.access(address) for address in addresses]
+        assert "L3" in served
+        assert "memory" not in served
+
+    def test_miss_rate_lookup(self):
+        simulator = HierarchySimulator(tiny_hierarchy())
+        simulator.access_many([0, 64, 128])
+        assert 0.0 <= simulator.miss_rate("L1D") <= 1.0
+        with pytest.raises(KeyError):
+            simulator.miss_rate("L9")
+
+    def test_reset(self):
+        simulator = HierarchySimulator(tiny_hierarchy())
+        simulator.access_many([0, 64, 128])
+        simulator.reset()
+        assert simulator.total_accesses == 0
+        assert simulator.memory_accesses == 0
+        assert simulator.total_cycles == 0
+
+    def test_statistics_keys(self):
+        simulator = HierarchySimulator(tiny_hierarchy())
+        simulator.access(0)
+        stats = simulator.statistics()
+        assert set(stats) == {"L1D", "L3"}

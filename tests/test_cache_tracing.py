@@ -1,0 +1,75 @@
+"""Tests for the memory-access trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.cache import ALGORITHM_TRACERS, AccessTraceGenerator
+from repro.cache.tracing import AddressSpace
+
+
+class TestAddressSpace:
+    def test_regions_do_not_overlap(self):
+        space = AddressSpace(num_documents=10, vocabulary_size=20, num_topics=5)
+        assert space.doc_topic_base < space.word_topic_base
+        assert space.word_topic_base < space.topic_counts_base
+        assert space.topic_counts_base < space.scratch_base
+        # Last doc-topic entry stays below the word-topic region.
+        last_doc_entry = int(space.doc_topic(np.int64(9), np.int64(4)))
+        assert last_doc_entry < space.word_topic_base
+
+    def test_vectorised_addresses(self):
+        space = AddressSpace(4, 6, 3)
+        addresses = space.word_topic(np.int64(2), np.array([0, 1, 2]))
+        assert addresses.shape == (3,)
+        assert np.all(np.diff(addresses) == 8)
+
+
+class TestTraceGenerators:
+    @pytest.fixture
+    def tracer(self, small_corpus):
+        return AccessTraceGenerator(small_corpus, num_topics=6, rng=0, max_tokens=300)
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHM_TRACERS))
+    def test_traces_are_nonempty_and_in_range(self, tracer, algorithm):
+        trace = list(getattr(tracer, ALGORITHM_TRACERS[algorithm])())
+        assert len(trace) > 0
+        assert min(trace) >= 0
+
+    def test_warplda_trace_avoids_the_large_matrices(self, tracer):
+        space = tracer.address_space
+        trace = np.array(list(tracer.warplda()))
+        # Every WarpLDA access lands in the scratch vector or c_k — never in
+        # the O(DK) or O(KV) matrices.
+        assert np.all(trace >= space.topic_counts_base)
+
+    def test_lightlda_trace_touches_both_matrices(self, tracer):
+        space = tracer.address_space
+        trace = np.array(list(tracer.lightlda()))
+        in_doc_matrix = (trace >= space.doc_topic_base) & (trace < space.word_topic_base)
+        in_word_matrix = (trace >= space.word_topic_base) & (trace < space.topic_counts_base)
+        assert in_doc_matrix.any()
+        assert in_word_matrix.any()
+
+    def test_fpluslda_trace_is_word_ordered(self, small_corpus):
+        tracer = AccessTraceGenerator(small_corpus, num_topics=6, rng=0, max_tokens=50)
+        space = tracer.address_space
+        trace = np.array(list(tracer.fpluslda()))
+        word_accesses = trace[(trace >= space.word_topic_base) & (trace < space.topic_counts_base)]
+        words = (word_accesses - space.word_topic_base) // (8 * tracer.num_topics)
+        # Word ids appear in non-decreasing order when visiting word-by-word.
+        assert np.all(np.diff(words) >= 0)
+
+    def test_max_tokens_caps_trace_length(self, small_corpus):
+        short = AccessTraceGenerator(small_corpus, num_topics=6, rng=0, max_tokens=20)
+        long = AccessTraceGenerator(small_corpus, num_topics=6, rng=0, max_tokens=200)
+        assert len(list(short.lightlda())) < len(list(long.lightlda()))
+
+    def test_invalid_arguments(self, small_corpus):
+        with pytest.raises(ValueError):
+            AccessTraceGenerator(small_corpus, num_topics=0)
+        with pytest.raises(ValueError):
+            AccessTraceGenerator(small_corpus, num_topics=3, num_mh_steps=0)
+        with pytest.raises(ValueError):
+            AccessTraceGenerator(
+                small_corpus, num_topics=3, assignments=np.zeros(3, dtype=np.int64)
+            )

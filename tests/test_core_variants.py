@@ -1,0 +1,90 @@
+"""Tests for the Fig. 7 ablation variants."""
+
+import numpy as np
+import pytest
+
+from repro.core import DelayedUpdateLightLDA, WarpLDA, make_ablation_suite
+from repro.core.variants import ABLATION_VARIANTS
+
+
+class TestDelayedUpdateLightLDA:
+    def test_labels_reflect_flags(self, tiny_corpus):
+        sampler = DelayedUpdateLightLDA(
+            tiny_corpus, 3, delay_word_counts=True, simple_word_proposal=True, seed=0
+        )
+        assert sampler.name == "LightLDA+DW+SP"
+        plain = DelayedUpdateLightLDA(tiny_corpus, 3, seed=0)
+        assert plain.name == "LightLDA"
+
+    def test_invalid_mh_steps(self, tiny_corpus):
+        with pytest.raises(ValueError):
+            DelayedUpdateLightLDA(tiny_corpus, 3, num_mh_steps=0)
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            {},
+            {"delay_word_counts": True},
+            {"delay_word_counts": True, "delay_doc_counts": True},
+            {
+                "delay_word_counts": True,
+                "delay_doc_counts": True,
+                "simple_word_proposal": True,
+            },
+        ],
+    )
+    def test_all_variants_stay_consistent_and_improve(self, small_corpus, flags):
+        sampler = DelayedUpdateLightLDA(small_corpus, 5, seed=0, **flags)
+        initial = sampler.log_likelihood()
+        sampler.fit(4)
+        assert sampler.state.check_consistency()
+        assert sampler.log_likelihood() > initial
+
+    def test_reproducibility(self, tiny_corpus):
+        first = DelayedUpdateLightLDA(tiny_corpus, 3, seed=5, delay_word_counts=True).fit(3)
+        second = DelayedUpdateLightLDA(tiny_corpus, 3, seed=5, delay_word_counts=True).fit(3)
+        np.testing.assert_array_equal(first.assignments, second.assignments)
+
+
+class TestAblationSuite:
+    def test_suite_has_the_five_paper_configurations(self, small_corpus):
+        suite = make_ablation_suite(small_corpus, num_topics=5, seed=0)
+        assert list(suite) == [variant.label for variant in ABLATION_VARIANTS]
+        assert list(suite) == [
+            "LightLDA",
+            "LightLDA+DW",
+            "LightLDA+DW+DD",
+            "LightLDA+DW+DD+SP",
+            "WarpLDA",
+        ]
+
+    def test_factories_build_matching_samplers(self, small_corpus):
+        suite = make_ablation_suite(small_corpus, num_topics=5, seed=0)
+        warp = suite["WarpLDA"]()
+        assert isinstance(warp, WarpLDA)
+        ablation = suite["LightLDA+DW+DD"]()
+        assert isinstance(ablation, DelayedUpdateLightLDA)
+        assert ablation.delay_word_counts and ablation.delay_doc_counts
+        assert not ablation.simple_word_proposal
+
+    def test_all_variants_converge_similarly(self, small_corpus):
+        """Fig. 7's claim: delayed updates and the simple proposal do not
+        change the quality of the converged solution much.
+
+        On this miniature corpus with M=1 the per-iteration trajectories are
+        noisy, so the check is deliberately loose: every variant must improve
+        substantially and all final likelihoods must land in the same
+        ballpark.
+        """
+        suite = make_ablation_suite(small_corpus, num_topics=5, seed=0)
+        finals = {}
+        for label, factory in suite.items():
+            sampler = factory()
+            initial = sampler.log_likelihood()
+            sampler.fit(30)
+            final = sampler.log_likelihood()
+            assert final > initial, label
+            finals[label] = final
+        values = np.array(list(finals.values()))
+        spread = values.max() - values.min()
+        assert spread / abs(values.mean()) < 0.15, finals

@@ -1,0 +1,56 @@
+"""Tests for the Table 3 dataset presets."""
+
+import pytest
+
+from repro.corpus import DATASET_PRESETS, load_preset
+from repro.corpus.stats import CorpusStatistics
+
+
+class TestPresets:
+    def test_all_paper_datasets_have_presets(self):
+        assert {"nytimes_like", "pubmed_like", "clueweb_like", "clueweb_subset_like"} <= set(
+            DATASET_PRESETS
+        )
+
+    def test_paper_statistics_match_table3(self):
+        nytimes = DATASET_PRESETS["nytimes_like"].paper_statistics
+        assert nytimes["D"] == 300_000
+        assert nytimes["T/D"] == 332
+        pubmed = DATASET_PRESETS["pubmed_like"].paper_statistics
+        assert pubmed["T/D"] == 90
+        clueweb = DATASET_PRESETS["clueweb_like"].paper_statistics
+        assert clueweb["V"] == 1_000_000
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset preset"):
+            load_preset("wikipedia")
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ValueError):
+            DATASET_PRESETS["nytimes_like"].spec(scale=0.0)
+
+
+class TestGeneration:
+    def test_scale_controls_size(self):
+        small = load_preset("nytimes_like", scale=0.05, rng=0)
+        larger = load_preset("nytimes_like", scale=0.1, rng=0)
+        assert larger.num_documents > small.num_documents
+
+    def test_mean_document_length_tracks_paper_ratio(self):
+        corpus = load_preset("pubmed_like", scale=0.05, rng=0)
+        stats = CorpusStatistics.from_corpus(corpus)
+        # PubMed's T/D is 90; the Poisson lengths should stay close.
+        assert stats.mean_document_length == pytest.approx(90, rel=0.2)
+
+    def test_clueweb_preset_uses_zipf_generator(self):
+        corpus = load_preset("clueweb_like", scale=0.05, rng=0)
+        stats = CorpusStatistics.from_corpus(corpus)
+        # Power-law corpora concentrate a large token share on the top 1%.
+        assert stats.top_words_token_share > 0.1
+
+    def test_reproducibility(self):
+        import numpy as np
+
+        first = load_preset("nytimes_like", scale=0.05, rng=3)
+        second = load_preset("nytimes_like", scale=0.05, rng=3)
+        np.testing.assert_array_equal(first.token_words, second.token_words)

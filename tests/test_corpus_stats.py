@@ -1,0 +1,27 @@
+"""Tests for corpus statistics."""
+
+import pytest
+
+from repro.corpus import CorpusStatistics
+
+
+class TestCorpusStatistics:
+    def test_matches_tiny_corpus(self, tiny_corpus):
+        stats = CorpusStatistics.from_corpus(tiny_corpus)
+        assert stats.num_documents == 4
+        assert stats.num_tokens == 22
+        assert stats.vocabulary_size == 6
+        assert stats.observed_vocabulary_size == 6
+        assert stats.mean_document_length == pytest.approx(22 / 4)
+        assert stats.max_document_length == 7
+        assert stats.max_word_frequency >= 4
+
+    def test_table_row_columns(self, tiny_corpus):
+        row = CorpusStatistics.from_corpus(tiny_corpus).as_table_row()
+        assert set(row) == {"D", "T", "V", "T/D"}
+        assert row["D"] == 4
+        assert row["T"] == 22
+
+    def test_top_share_between_zero_and_one(self, small_corpus):
+        stats = CorpusStatistics.from_corpus(small_corpus)
+        assert 0.0 < stats.top_words_token_share <= 1.0

@@ -1,0 +1,32 @@
+"""Tests for the plain-text tokenizer."""
+
+import pytest
+
+from repro.corpus import simple_tokenize
+from repro.corpus.tokenize import DEFAULT_STOP_WORDS
+
+
+class TestSimpleTokenize:
+    def test_lowercases_and_splits_on_non_alphanumerics(self):
+        assert simple_tokenize("Hello, WORLD-2024!") == ["hello", "world", "2024"]
+
+    def test_removes_stop_words(self):
+        tokens = simple_tokenize("the cat and the dog")
+        assert tokens == ["cat", "dog"]
+
+    def test_stop_words_can_be_disabled(self):
+        tokens = simple_tokenize("the cat", stop_words=None)
+        assert tokens == ["the", "cat"]
+
+    def test_min_length_filter(self):
+        assert simple_tokenize("a ab abc", stop_words=None, min_length=3) == ["abc"]
+
+    def test_empty_text(self):
+        assert simple_tokenize("") == []
+
+    def test_non_string_raises(self):
+        with pytest.raises(TypeError):
+            simple_tokenize(42)
+
+    def test_default_stop_words_are_lowercase(self):
+        assert all(word == word.lower() for word in DEFAULT_STOP_WORDS)

@@ -1,0 +1,93 @@
+"""Tests for the UCI bag-of-words reader/writer."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.corpus import Corpus, Vocabulary, read_uci_bow, write_uci_bow
+from repro.corpus.uci import read_uci_vocab, write_uci_vocab
+
+
+@pytest.fixture
+def corpus():
+    vocab = Vocabulary(["alpha", "beta", "gamma"])
+    return Corpus.from_bags([{0: 2, 1: 1}, {2: 3}, {0: 1, 2: 1}], vocab)
+
+
+class TestRoundTrip:
+    def test_docword_and_vocab_roundtrip(self, corpus, tmp_path):
+        docword = tmp_path / "docword.test.txt"
+        vocab_file = tmp_path / "vocab.test.txt"
+        write_uci_bow(corpus, docword, vocab_file)
+        loaded = read_uci_bow(docword, vocab_file)
+        assert loaded.num_documents == corpus.num_documents
+        assert loaded.num_tokens == corpus.num_tokens
+        assert loaded.vocabulary == corpus.vocabulary
+        np.testing.assert_array_equal(
+            loaded.term_document_counts(), corpus.term_document_counts()
+        )
+
+    def test_gzipped_roundtrip(self, corpus, tmp_path):
+        docword = tmp_path / "docword.test.txt.gz"
+        write_uci_bow(corpus, docword)
+        loaded = read_uci_bow(docword)
+        assert loaded.num_tokens == corpus.num_tokens
+
+    def test_vocab_roundtrip(self, tmp_path):
+        vocab = Vocabulary(["one", "two", "three"])
+        path = tmp_path / "vocab.txt"
+        write_uci_vocab(vocab, path)
+        assert read_uci_vocab(path) == vocab
+
+    def test_without_vocab_uses_synthetic_names(self, corpus, tmp_path):
+        docword = tmp_path / "docword.txt"
+        write_uci_bow(corpus, docword)
+        loaded = read_uci_bow(docword)
+        assert loaded.vocabulary.words() == ["w0", "w1", "w2"]
+
+    def test_max_documents(self, corpus, tmp_path):
+        docword = tmp_path / "docword.txt"
+        write_uci_bow(corpus, docword)
+        loaded = read_uci_bow(docword, max_documents=2)
+        assert loaded.num_documents == 2
+
+
+class TestMalformedInput:
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "docword.txt"
+        path.write_text("not a number\n2\n3\n")
+        with pytest.raises(ValueError, match="malformed UCI header"):
+            read_uci_bow(path)
+
+    def test_bad_entry_line(self, tmp_path):
+        path = tmp_path / "docword.txt"
+        path.write_text("1\n1\n1\n1 1\n")
+        with pytest.raises(ValueError, match="expected 'doc word count'"):
+            read_uci_bow(path)
+
+    def test_out_of_range_document(self, tmp_path):
+        path = tmp_path / "docword.txt"
+        path.write_text("1\n2\n1\n5 1 1\n")
+        with pytest.raises(ValueError, match="document id"):
+            read_uci_bow(path)
+
+    def test_out_of_range_word(self, tmp_path):
+        path = tmp_path / "docword.txt"
+        path.write_text("1\n2\n1\n1 9 1\n")
+        with pytest.raises(ValueError, match="word id"):
+            read_uci_bow(path)
+
+    def test_non_positive_count(self, tmp_path):
+        path = tmp_path / "docword.txt"
+        path.write_text("1\n2\n1\n1 1 0\n")
+        with pytest.raises(ValueError, match="count must be positive"):
+            read_uci_bow(path)
+
+    def test_vocab_smaller_than_header(self, corpus, tmp_path):
+        docword = tmp_path / "docword.txt"
+        vocab_file = tmp_path / "vocab.txt"
+        write_uci_bow(corpus, docword)
+        vocab_file.write_text("only\n")
+        with pytest.raises(ValueError, match="vocab file"):
+            read_uci_bow(docword, vocab_file)

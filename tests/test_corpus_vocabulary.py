@@ -1,0 +1,70 @@
+"""Tests for the Vocabulary mapping."""
+
+import pytest
+
+from repro.corpus import Vocabulary
+
+
+class TestAdd:
+    def test_ids_are_dense_and_ordered(self):
+        vocab = Vocabulary()
+        assert vocab.add("apple") == 0
+        assert vocab.add("orange") == 1
+        assert vocab.add("apple") == 0
+        assert vocab.size == 2
+
+    def test_rejects_empty_word(self):
+        with pytest.raises(ValueError):
+            Vocabulary().add("")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            Vocabulary().add(3)
+
+    def test_constructor_from_iterable(self):
+        vocab = Vocabulary(["a", "b", "a"])
+        assert vocab.size == 2
+        assert vocab.words() == ["a", "b"]
+
+
+class TestLookup:
+    def test_word_and_getitem(self):
+        vocab = Vocabulary(["x", "y"])
+        assert vocab["y"] == 1
+        assert vocab.word(0) == "x"
+        assert vocab.get("missing") is None
+        assert vocab.get("missing", -1) == -1
+
+    def test_getitem_missing_raises(self):
+        with pytest.raises(KeyError):
+            Vocabulary()["missing"]
+
+    def test_word_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            Vocabulary(["a"]).word(5)
+
+    def test_contains_len_iter(self):
+        vocab = Vocabulary(["a", "b"])
+        assert "a" in vocab
+        assert "z" not in vocab
+        assert len(vocab) == 2
+        assert list(vocab) == ["a", "b"]
+
+
+class TestFreeze:
+    def test_frozen_rejects_new_words(self):
+        vocab = Vocabulary(["a"]).freeze()
+        assert vocab.frozen
+        assert vocab.add("a") == 0
+        with pytest.raises(KeyError):
+            vocab.add("b")
+
+
+class TestEquality:
+    def test_equal_vocabularies(self):
+        assert Vocabulary(["a", "b"]) == Vocabulary(["a", "b"])
+        assert Vocabulary(["a", "b"]) != Vocabulary(["b", "a"])
+
+    def test_from_words_roundtrip(self):
+        words = ["alpha", "beta", "gamma"]
+        assert Vocabulary.from_words(words).words() == words

@@ -1,0 +1,148 @@
+"""Tests for the partitioning strategies and the imbalance index (Fig. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import (
+    imbalance_index,
+    partition_documents_balanced,
+    partition_words_dynamic,
+    partition_words_greedy,
+    partition_words_static,
+)
+from repro.distributed.partition import imbalance_by_strategy, partition_loads
+
+
+def zipf_sizes(num_words=2000, exponent=1.1, total=200_000):
+    ranks = np.arange(1, num_words + 1, dtype=np.float64)
+    probabilities = ranks ** (-exponent)
+    probabilities /= probabilities.sum()
+    return np.round(probabilities * total).astype(np.int64) + 1
+
+
+class TestImbalanceIndex:
+    def test_perfect_balance_is_zero(self):
+        assert imbalance_index(np.array([10, 10, 10])) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        assert imbalance_index(np.array([30, 10, 20])) == pytest.approx(0.5)
+
+    def test_all_zero_loads(self):
+        assert imbalance_index(np.array([0, 0])) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            imbalance_index(np.array([]))
+        with pytest.raises(ValueError):
+            imbalance_index(np.array([-1, 2]))
+
+
+class TestStrategies:
+    @pytest.mark.parametrize(
+        "strategy",
+        [
+            lambda sizes, p: partition_words_static(sizes, p, rng=0),
+            partition_words_dynamic,
+            partition_words_greedy,
+        ],
+        ids=["static", "dynamic", "greedy"],
+    )
+    def test_every_word_is_assigned_to_a_valid_partition(self, strategy):
+        sizes = zipf_sizes(num_words=500)
+        assignment = strategy(sizes, 8)
+        assert assignment.shape == sizes.shape
+        assert assignment.min() >= 0
+        assert assignment.max() < 8
+        loads = partition_loads(sizes, assignment, 8)
+        assert loads.sum() == sizes.sum()
+
+    def test_greedy_beats_static_and_dynamic(self):
+        """Fig. 4's qualitative result on power-law column sizes."""
+        sizes = zipf_sizes()
+        for num_partitions in (4, 16, 64):
+            greedy = imbalance_index(
+                partition_loads(sizes, partition_words_greedy(sizes, num_partitions), num_partitions)
+            )
+            static = imbalance_index(
+                partition_loads(
+                    sizes, partition_words_static(sizes, num_partitions, rng=0), num_partitions
+                )
+            )
+            dynamic = imbalance_index(
+                partition_loads(
+                    sizes, partition_words_dynamic(sizes, num_partitions), num_partitions
+                )
+            )
+            assert greedy <= dynamic
+            assert greedy <= static
+            if sizes.max() <= sizes.sum() / num_partitions:
+                # Whenever a balanced partition is feasible (no single word
+                # exceeds the fair share) greedy is near perfect.  When the
+                # largest word dominates, imbalance is unavoidable — the
+                # effect the paper notes for hundreds of machines.
+                assert greedy < 0.1
+
+    def test_imbalance_grows_with_partition_count(self):
+        """The paper observes greedy imbalance rising once partitions are many."""
+        sizes = zipf_sizes(num_words=300)
+        few = imbalance_index(
+            partition_loads(sizes, partition_words_greedy(sizes, 2), 2)
+        )
+        many = imbalance_index(
+            partition_loads(sizes, partition_words_greedy(sizes, 128), 128)
+        )
+        assert many >= few
+
+    def test_document_partitioning_is_balanced(self):
+        lengths = np.full(100, 50)
+        assignment = partition_documents_balanced(lengths, 10)
+        loads = partition_loads(lengths, assignment, 10)
+        assert imbalance_index(loads) == pytest.approx(0.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            partition_words_greedy(np.array([1, 2]), 0)
+        with pytest.raises(ValueError):
+            partition_words_greedy(np.array([]), 2)
+        with pytest.raises(ValueError):
+            partition_words_greedy(np.array([-1, 2]), 2)
+
+
+class TestFig4Driver:
+    def test_series_cover_all_strategies_and_counts(self):
+        sizes = zipf_sizes(num_words=400)
+        results = imbalance_by_strategy(sizes, [2, 8, 32], rng=0)
+        assert set(results) == {"static", "dynamic", "greedy"}
+        assert all(len(values) == 3 for values in results.values())
+        # Greedy dominates at every partition count.
+        for index in range(3):
+            assert results["greedy"][index] <= results["static"][index]
+
+
+class TestProperties:
+    @given(
+        sizes=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200),
+        num_partitions=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_partition_is_valid_and_conserves_load(self, sizes, num_partitions):
+        sizes = np.array(sizes, dtype=np.int64)
+        assignment = partition_words_greedy(sizes, num_partitions)
+        loads = partition_loads(sizes, assignment, num_partitions)
+        assert loads.sum() == sizes.sum()
+        assert assignment.min() >= 0
+        assert assignment.max() < num_partitions
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=1000), min_size=4, max_size=100),
+        num_partitions=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_max_load_is_within_bound(self, sizes, num_partitions):
+        """LPT greedy guarantee: max load <= mean load + max item size."""
+        sizes = np.array(sizes, dtype=np.int64)
+        assignment = partition_words_greedy(sizes, num_partitions)
+        loads = partition_loads(sizes, assignment, num_partitions)
+        assert loads.max() <= sizes.sum() / num_partitions + sizes.max()

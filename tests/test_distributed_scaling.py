@@ -1,0 +1,65 @@
+"""Tests for the scaling performance model (Fig. 9)."""
+
+import pytest
+
+from repro.distributed import ScalingModel, machine_scaling_curve, thread_scaling_curve
+
+
+class TestScalingModel:
+    def test_single_worker_speedup_is_one(self):
+        assert ScalingModel(contention=0.02).speedup(1) == pytest.approx(1.0)
+
+    def test_speedup_is_monotonic_but_sublinear(self):
+        model = ScalingModel(contention=0.02)
+        previous = 0.0
+        for workers in (1, 2, 4, 8, 16, 32):
+            speedup = model.speedup(workers)
+            assert speedup > previous
+            assert speedup <= workers
+            previous = speedup
+
+    def test_zero_contention_is_linear(self):
+        model = ScalingModel(contention=0.0)
+        assert model.speedup(16) == pytest.approx(16.0)
+
+    def test_numa_penalty_applies_beyond_boundary(self):
+        penalised = ScalingModel(contention=0.0, numa_penalty=0.9, numa_boundary=4)
+        assert penalised.speedup(4) == pytest.approx(4.0)
+        assert penalised.speedup(8) == pytest.approx(7.2)
+
+    def test_throughput_and_efficiency(self):
+        model = ScalingModel(contention=0.0)
+        assert model.throughput(4, 100.0) == pytest.approx(400.0)
+        assert model.efficiency(4) == pytest.approx(1.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ScalingModel(contention=-0.1)
+        with pytest.raises(ValueError):
+            ScalingModel().speedup(0)
+        with pytest.raises(ValueError):
+            ScalingModel().throughput(2, 0.0)
+
+
+class TestCalibration:
+    def test_thread_curve_matches_paper_anchor_points(self):
+        """Fig. 9a: 24 cores give roughly 17x, 12 cores roughly 9-10x."""
+        rows = {int(row["workers"]): row for row in thread_scaling_curve(6e6)}
+        assert rows[24]["speedup"] == pytest.approx(17.0, rel=0.15)
+        assert 8.0 <= rows[12]["speedup"] <= 11.0
+        # Paper: 1 core ~ 6M token/s, 24 cores ~ 104M token/s.
+        assert rows[24]["throughput"] == pytest.approx(104e6, rel=0.2)
+
+    def test_machine_curve_matches_paper_anchor_point(self):
+        """Fig. 9b: 16 machines give roughly 13.5x."""
+        rows = {int(row["workers"]): row for row in machine_scaling_curve(1.0)}
+        assert rows[16]["speedup"] == pytest.approx(13.5, rel=0.1)
+
+    def test_extrapolation_to_256_machines_reaches_paper_scale(self):
+        """Fig. 9d: 256 machines sustain on the order of 10G tokens/s given the
+        per-machine throughput the paper reports (~50-100M tokens/s)."""
+        rows = machine_scaling_curve(
+            1.1e8, machine_counts=(64, 128, 256)
+        )
+        throughput_256 = rows[-1]["throughput"]
+        assert 5e9 <= throughput_256 <= 2e10

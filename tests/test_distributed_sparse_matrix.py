@@ -1,0 +1,137 @@
+"""Tests for the AddEntry / VisitByRow / VisitByColumn framework."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import SparseMatrixFramework
+
+
+def build_example():
+    """The Fig. 1 style matrix: 3 rows (docs) x 3 cols (words)."""
+    matrix = SparseMatrixFramework(num_rows=3, num_cols=3, data_width=2)
+    matrix.add_entry(0, 0, [1, 0])
+    matrix.add_entry(0, 2, [2, 0])
+    matrix.add_entry(1, 0, [3, 0])
+    matrix.add_entry(1, 1, [4, 0])
+    matrix.add_entry(2, 2, [5, 0])
+    matrix.add_entry(0, 2, [6, 0])  # duplicate cell: two tokens of one word
+    return matrix.build()
+
+
+class TestConstruction:
+    def test_build_requires_entries(self):
+        with pytest.raises(ValueError):
+            SparseMatrixFramework(2, 2).build()
+
+    def test_add_entry_validation(self):
+        matrix = SparseMatrixFramework(2, 2, data_width=1)
+        with pytest.raises(IndexError):
+            matrix.add_entry(5, 0, [1])
+        with pytest.raises(IndexError):
+            matrix.add_entry(0, 5, [1])
+        with pytest.raises(ValueError):
+            matrix.add_entry(0, 0, [1, 2])
+
+    def test_add_entry_after_build_raises(self):
+        matrix = build_example()
+        with pytest.raises(RuntimeError):
+            matrix.add_entry(0, 0, [1, 1])
+
+    def test_visit_before_build_raises(self):
+        matrix = SparseMatrixFramework(2, 2)
+        matrix.add_entry(0, 0, [1])
+        with pytest.raises(RuntimeError):
+            matrix.visit_by_row(lambda row, data: None)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            SparseMatrixFramework(0, 2)
+        with pytest.raises(ValueError):
+            SparseMatrixFramework(2, 2, data_width=0)
+
+
+class TestLayout:
+    def test_row_and_column_sizes(self):
+        matrix = build_example()
+        assert matrix.num_entries == 6
+        assert matrix.row_size(0) == 3
+        assert matrix.row_size(2) == 1
+        assert matrix.col_size(2) == 3
+        assert matrix.col_size(1) == 1
+
+    def test_columns_are_contiguous_and_sorted_by_row(self):
+        matrix = build_example()
+        for col in range(3):
+            indices = matrix.col_entry_indices(col)
+            np.testing.assert_array_equal(indices, np.sort(indices))
+            rows = matrix.entry_rows()[indices]
+            assert np.all(np.diff(rows) >= 0)
+
+    def test_row_pointers_reference_correct_rows(self):
+        matrix = build_example()
+        for row in range(3):
+            indices = matrix.row_entry_indices(row)
+            assert np.all(matrix.entry_rows()[indices] == row)
+
+
+class TestVisitors:
+    def test_visit_by_row_sees_all_row_entries(self):
+        matrix = build_example()
+        seen = {}
+
+        def collect(row, data):
+            seen[row] = sorted(data[:, 0].tolist())
+
+        matrix.visit_by_row(collect)
+        assert seen == {0: [1, 2, 6], 1: [3, 4], 2: [5]}
+
+    def test_visit_by_column_sees_all_column_entries(self):
+        matrix = build_example()
+        seen = {}
+
+        def collect(col, data):
+            seen[col] = sorted(data[:, 0].tolist())
+
+        matrix.visit_by_column(collect)
+        assert seen == {0: [1, 3], 1: [4], 2: [2, 5, 6]}
+
+    def test_row_mutations_visible_to_column_visit(self):
+        matrix = build_example()
+
+        def increment(row, data):
+            data[:, 1] = row + 10
+
+        matrix.visit_by_row(increment)
+        collected = {}
+
+        def collect(col, data):
+            collected[col] = sorted(data[:, 1].tolist())
+
+        matrix.visit_by_column(collect)
+        assert collected[0] == [10, 11]
+        assert collected[2] == [10, 10, 12]
+
+    def test_column_mutations_visible_to_row_visit(self):
+        matrix = build_example()
+
+        def stamp(col, data):
+            data[:, 1] = col
+
+        matrix.visit_by_column(stamp)
+        collected = {}
+
+        def collect(row, data):
+            collected[row] = sorted(data[:, 1].tolist())
+
+        matrix.visit_by_row(collect)
+        assert collected[0] == [0, 2, 2]
+
+
+class TestFromCorpus:
+    def test_one_entry_per_token(self, tiny_corpus):
+        matrix = SparseMatrixFramework.from_corpus(tiny_corpus, data_width=3)
+        assert matrix.num_entries == tiny_corpus.num_tokens
+        assert matrix.num_rows == tiny_corpus.num_documents
+        assert matrix.num_cols == tiny_corpus.vocabulary_size
+        for doc in range(tiny_corpus.num_documents):
+            assert matrix.row_size(doc) == tiny_corpus.document_lengths()[doc]

@@ -1,0 +1,46 @@
+"""Tests for top words and topic coherence."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import top_words, topic_coherence
+
+
+class TestTopWords:
+    def test_returns_highest_probability_words(self, tiny_corpus):
+        vocab = tiny_corpus.vocabulary
+        phi = np.full((1, tiny_corpus.vocabulary_size), 0.01)
+        phi[0, vocab["apple"]] = 0.5
+        phi[0, vocab["orange"]] = 0.3
+        words = top_words(phi, vocab, num_words=2)
+        assert words == [["apple", "orange"]]
+
+    def test_num_words_clamped_to_vocabulary(self, tiny_corpus):
+        phi = np.full((2, tiny_corpus.vocabulary_size), 1.0)
+        words = top_words(phi, tiny_corpus.vocabulary, num_words=100)
+        assert len(words[0]) == tiny_corpus.vocabulary_size
+
+    def test_invalid_arguments(self, tiny_corpus):
+        with pytest.raises(ValueError):
+            top_words(np.ones(3), tiny_corpus.vocabulary)
+        with pytest.raises(ValueError):
+            top_words(np.ones((1, 3)), tiny_corpus.vocabulary, num_words=0)
+
+
+class TestTopicCoherence:
+    def test_cooccurring_topic_scores_higher(self, tiny_corpus):
+        vocab = tiny_corpus.vocabulary
+        phi = np.full((2, tiny_corpus.vocabulary_size), 1e-6)
+        # Topic 0: words that co-occur in the tech documents.
+        for word in ["ios", "android"]:
+            phi[0, vocab[word]] = 0.5
+        # Topic 1: a pair that never co-occurs ("iphone" and "fruit").
+        phi[1, vocab["iphone"]] = 0.5
+        phi[1, vocab["fruit"]] = 0.5
+        coherence = topic_coherence(phi, tiny_corpus, num_words=2)
+        assert coherence.shape == (2,)
+        assert coherence[0] > coherence[1]
+
+    def test_phi_vocabulary_mismatch_raises(self, tiny_corpus):
+        with pytest.raises(ValueError):
+            topic_coherence(np.ones((2, 3)), tiny_corpus)

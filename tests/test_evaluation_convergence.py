@@ -1,0 +1,73 @@
+"""Tests for convergence tracking and speedup metrics."""
+
+import pytest
+
+from repro.evaluation import (
+    ConvergenceTracker,
+    iterations_to_reach,
+    speedup_ratio,
+    time_to_reach,
+)
+
+
+def make_tracker(label, values, seconds_per_iteration):
+    tracker = ConvergenceTracker(label)
+    for index, value in enumerate(values, start=1):
+        tracker.record(
+            iteration=index,
+            log_likelihood=value,
+            tokens_processed=index * 1000,
+            elapsed_seconds=index * seconds_per_iteration,
+        )
+    return tracker
+
+
+class TestTracker:
+    def test_records_and_series(self):
+        tracker = make_tracker("a", [-10.0, -5.0, -2.0], 1.0)
+        assert len(tracker) == 3
+        assert tracker.iterations == [1, 2, 3]
+        assert tracker.log_likelihoods == [-10.0, -5.0, -2.0]
+        assert tracker.final_log_likelihood == -2.0
+        assert tracker.best_log_likelihood() == -2.0
+        assert tracker.records[-1].throughput == pytest.approx(1000.0)
+
+    def test_empty_tracker_raises(self):
+        with pytest.raises(ValueError):
+            ConvergenceTracker().final_log_likelihood
+
+    def test_wall_clock_mode(self):
+        tracker = ConvergenceTracker("wall")
+        tracker.record(1, -1.0, 10)
+        assert tracker.records[0].elapsed_seconds >= 0.0
+
+
+class TestTargets:
+    def test_iterations_and_time_to_reach(self):
+        tracker = make_tracker("a", [-10.0, -5.0, -2.0], 2.0)
+        assert iterations_to_reach(tracker, -5.0) == 2
+        assert time_to_reach(tracker, -5.0) == pytest.approx(4.0)
+        assert iterations_to_reach(tracker, -1.0) is None
+        assert time_to_reach(tracker, -1.0) is None
+
+
+class TestSpeedupRatio:
+    def test_time_and_iteration_ratios(self):
+        slow = make_tracker("slow", [-10.0, -8.0, -5.0, -2.0], 4.0)
+        fast = make_tracker("fast", [-6.0, -2.0], 1.0)
+        assert speedup_ratio(slow, fast, target=-5.0, metric="time") == pytest.approx(
+            12.0 / 2.0
+        )
+        assert speedup_ratio(
+            slow, fast, target=-5.0, metric="iterations"
+        ) == pytest.approx(3 / 2)
+
+    def test_unreached_target_returns_none(self):
+        slow = make_tracker("slow", [-10.0], 1.0)
+        fast = make_tracker("fast", [-2.0], 1.0)
+        assert speedup_ratio(slow, fast, target=-1.0) is None
+
+    def test_invalid_metric_raises(self):
+        tracker = make_tracker("a", [-1.0], 1.0)
+        with pytest.raises(ValueError):
+            speedup_ratio(tracker, tracker, target=-1.0, metric="bogus")

@@ -1,0 +1,54 @@
+"""Tests for held-out perplexity."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import held_out_perplexity
+from repro.evaluation.perplexity import document_topic_inference
+
+
+class TestDocumentTopicInference:
+    def test_returns_normalised_proportions(self, tiny_corpus):
+        phi = np.full((3, tiny_corpus.vocabulary_size), 1.0 / tiny_corpus.vocabulary_size)
+        theta = document_topic_inference(tiny_corpus, phi, alpha=0.1)
+        assert theta.shape == (tiny_corpus.num_documents, 3)
+        np.testing.assert_allclose(theta.sum(axis=1), 1.0)
+
+    def test_identifies_obvious_topic(self, tiny_corpus):
+        vocab = tiny_corpus.vocabulary
+        phi = np.full((2, tiny_corpus.vocabulary_size), 1e-6)
+        # Topic 0: tech words, topic 1: fruit words.
+        for word in ["ios", "android", "iphone"]:
+            phi[0, vocab[word]] = 1.0
+        for word in ["apple", "orange", "fruit"]:
+            phi[1, vocab[word]] = 1.0
+        phi /= phi.sum(axis=1, keepdims=True)
+        theta = document_topic_inference(tiny_corpus, phi, alpha=0.01)
+        # Document 3 is pure fruit vocabulary.
+        assert theta[3, 1] > 0.8
+
+    def test_invalid_phi_raises(self, tiny_corpus):
+        with pytest.raises(ValueError):
+            document_topic_inference(tiny_corpus, np.ones(5), alpha=0.1)
+
+
+class TestHeldOutPerplexity:
+    def test_uniform_model_perplexity_equals_vocabulary_size(self, tiny_corpus):
+        vocab_size = tiny_corpus.vocabulary_size
+        phi = np.full((4, vocab_size), 1.0 / vocab_size)
+        perplexity = held_out_perplexity(tiny_corpus, phi, alpha=0.1)
+        assert perplexity == pytest.approx(vocab_size, rel=1e-6)
+
+    def test_better_model_has_lower_perplexity(self, tiny_corpus):
+        vocab = tiny_corpus.vocabulary
+        vocab_size = tiny_corpus.vocabulary_size
+        uniform = np.full((2, vocab_size), 1.0 / vocab_size)
+        informative = np.full((2, vocab_size), 1e-3)
+        for word in ["ios", "android", "iphone"]:
+            informative[0, vocab[word]] = 1.0
+        for word in ["apple", "orange", "fruit"]:
+            informative[1, vocab[word]] = 1.0
+        informative /= informative.sum(axis=1, keepdims=True)
+        assert held_out_perplexity(tiny_corpus, informative, 0.1) < held_out_perplexity(
+            tiny_corpus, uniform, 0.1
+        )

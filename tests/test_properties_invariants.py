@@ -1,0 +1,73 @@
+"""Property-based tests on cross-module invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import WarpLDA
+from repro.corpus import Corpus
+from repro.samplers import CollapsedGibbsSampler
+
+
+def corpora(draw):
+    """Strategy helper: build a small random corpus."""
+    num_docs = draw(st.integers(min_value=1, max_value=6))
+    vocab = draw(st.integers(min_value=2, max_value=12))
+    token_lists = []
+    for _ in range(num_docs):
+        length = draw(st.integers(min_value=1, max_value=20))
+        token_lists.append(
+            [draw(st.integers(min_value=0, max_value=vocab - 1)) for _ in range(length)]
+        )
+    return Corpus.from_token_lists(token_lists)
+
+
+class TestCorpusInvariants:
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_document_and_word_views_partition_tokens(self, data):
+        corpus = corpora(data.draw)
+        from_docs = np.concatenate(
+            [corpus.document_token_indices(d) for d in range(corpus.num_documents)]
+        )
+        from_words = np.concatenate(
+            [corpus.word_token_indices(w) for w in range(corpus.vocabulary_size)]
+        )
+        assert sorted(from_docs.tolist()) == list(range(corpus.num_tokens))
+        assert sorted(from_words.tolist()) == list(range(corpus.num_tokens))
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_lengths_and_frequencies_are_consistent(self, data):
+        corpus = corpora(data.draw)
+        assert corpus.document_lengths().sum() == corpus.num_tokens
+        assert corpus.word_frequencies().sum() == corpus.num_tokens
+        matrix = corpus.term_document_counts()
+        np.testing.assert_array_equal(matrix.sum(axis=0), corpus.word_frequencies())
+        np.testing.assert_array_equal(matrix.sum(axis=1), corpus.document_lengths())
+
+
+class TestSamplerInvariants:
+    @given(data=st.data(), seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_cgs_counts_always_consistent(self, data, seed):
+        corpus = corpora(data.draw)
+        num_topics = data.draw(st.integers(min_value=2, max_value=5))
+        sampler = CollapsedGibbsSampler(corpus, num_topics=num_topics, seed=seed)
+        sampler.fit(2)
+        assert sampler.state.check_consistency()
+        assert sampler.state.topic_counts.sum() == corpus.num_tokens
+
+    @given(data=st.data(), seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_warplda_token_conservation(self, data, seed):
+        corpus = corpora(data.draw)
+        num_topics = data.draw(st.integers(min_value=2, max_value=5))
+        num_mh_steps = data.draw(st.integers(min_value=1, max_value=3))
+        model = WarpLDA(
+            corpus, num_topics=num_topics, num_mh_steps=num_mh_steps, seed=seed
+        ).fit(2)
+        assert model.topic_counts.sum() == corpus.num_tokens
+        assert model.assignments.min() >= 0
+        assert model.assignments.max() < num_topics
+        assert np.isfinite(model.log_likelihood())

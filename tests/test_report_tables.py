@@ -1,0 +1,42 @@
+"""Tests for the benchmark-report formatting helpers."""
+
+from repro.report import format_series, format_table
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_title_and_alignment(self):
+        text = format_table(
+            [{"name": "WarpLDA", "speedup": 5.0}, {"name": "LightLDA", "speedup": 1.0}],
+            title="Comparison",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Comparison"
+        assert "name" in lines[1] and "speedup" in lines[1]
+        assert len(lines) == 5
+
+    def test_missing_cells_render_as_dash(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}])
+        assert "-" in text
+
+    def test_number_formatting(self):
+        text = format_table([{"big": 12_345_678, "small": 0.00001, "zero": 0.0}])
+        assert "12,345,678" in text
+        assert "1e-05" in text
+        assert "0" in text
+
+
+class TestFormatSeries:
+    def test_series_alignment(self):
+        text = format_series(
+            {"WarpLDA": [1.0, 2.0], "LightLDA": [0.5]},
+            x_label="iteration",
+            x_values=[1, 2],
+        )
+        lines = text.splitlines()
+        assert "iteration" in lines[0]
+        assert "WarpLDA" in lines[0]
+        # Second series is shorter; missing value rendered as '-'.
+        assert lines[-1].strip().endswith("-")

@@ -1,0 +1,114 @@
+"""Tests for the Walker alias table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling import AliasTable
+
+
+class TestConstruction:
+    def test_rejects_empty_weights(self):
+        with pytest.raises(ValueError):
+            AliasTable([])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            AliasTable([1.0, -0.5])
+
+    def test_rejects_all_zero_weights(self):
+        with pytest.raises(ValueError):
+            AliasTable([0.0, 0.0])
+
+    def test_rejects_non_finite_weights(self):
+        with pytest.raises(ValueError):
+            AliasTable([1.0, float("nan")])
+
+    def test_rejects_2d_weights(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.ones((2, 2)))
+
+    def test_size_and_total(self):
+        table = AliasTable([1.0, 2.0, 3.0])
+        assert table.size == 3
+        assert len(table) == 3
+        assert table.total_weight == pytest.approx(6.0)
+
+    def test_probabilities_match_normalised_weights(self):
+        weights = np.array([0.5, 1.5, 3.0, 0.0, 2.0])
+        table = AliasTable(weights)
+        np.testing.assert_allclose(
+            table.probabilities(), weights / weights.sum(), atol=1e-12
+        )
+
+    def test_single_outcome(self):
+        table = AliasTable([4.2])
+        assert table.draw(np.random.default_rng(0)) == 0
+
+
+class TestSampling:
+    def test_draw_is_within_support(self, rng):
+        table = AliasTable([1.0, 0.0, 2.0])
+        draws = [table.draw(rng) for _ in range(200)]
+        assert set(draws) <= {0, 2}
+
+    def test_draw_many_matches_support(self, rng):
+        table = AliasTable([0.0, 5.0, 0.0, 1.0])
+        draws = table.draw_many(500, rng)
+        assert draws.shape == (500,)
+        assert set(np.unique(draws)) <= {1, 3}
+
+    def test_draw_many_empirical_frequencies(self, rng):
+        weights = np.array([1.0, 2.0, 3.0, 4.0])
+        table = AliasTable(weights)
+        draws = table.draw_many(40_000, rng)
+        empirical = np.bincount(draws, minlength=4) / draws.size
+        np.testing.assert_allclose(empirical, weights / weights.sum(), atol=0.02)
+
+    def test_draw_many_zero_count(self, rng):
+        table = AliasTable([1.0, 1.0])
+        assert table.draw_many(0, rng).size == 0
+
+    def test_draw_many_negative_count_raises(self, rng):
+        table = AliasTable([1.0, 1.0])
+        with pytest.raises(ValueError):
+            table.draw_many(-1, rng)
+
+    def test_deterministic_given_seed(self):
+        table = AliasTable([1.0, 2.0, 3.0])
+        first = table.draw_many(50, np.random.default_rng(3))
+        second = table.draw_many(50, np.random.default_rng(3))
+        np.testing.assert_array_equal(first, second)
+
+
+class TestProperties:
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=64,
+        ).filter(lambda values: sum(values) > 0)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_are_exact_for_any_weights(self, weights):
+        table = AliasTable(weights)
+        weights = np.asarray(weights, dtype=np.float64)
+        np.testing.assert_allclose(
+            table.probabilities(), weights / weights.sum(), atol=1e-9
+        )
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=32,
+        ),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_draws_always_in_range(self, weights, seed):
+        table = AliasTable(weights)
+        draws = table.draw_many(64, np.random.default_rng(seed))
+        assert draws.min() >= 0
+        assert draws.max() < len(weights)

@@ -1,0 +1,76 @@
+"""Tests for the plain discrete sampling helpers."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import sample_discrete, sample_mixture, sample_unnormalized
+from repro.sampling.discrete import categorical_from_counts
+
+
+class TestSampleUnnormalized:
+    def test_respects_support(self, rng):
+        draws = [sample_unnormalized(np.array([0.0, 1.0, 0.0]), rng) for _ in range(50)]
+        assert set(draws) == {1}
+
+    def test_empirical_distribution(self, rng):
+        weights = np.array([2.0, 1.0, 1.0])
+        draws = np.array([sample_unnormalized(weights, rng) for _ in range(8000)])
+        empirical = np.bincount(draws, minlength=3) / draws.size
+        np.testing.assert_allclose(empirical, weights / weights.sum(), atol=0.03)
+
+    def test_rejects_zero_sum(self):
+        with pytest.raises(ValueError):
+            sample_unnormalized(np.zeros(3))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            sample_unnormalized(np.ones((2, 2)))
+
+
+class TestSampleDiscrete:
+    def test_requires_normalised(self):
+        with pytest.raises(ValueError):
+            sample_discrete(np.array([0.5, 0.2]))
+
+    def test_draws_valid_index(self, rng):
+        assert sample_discrete(np.array([0.3, 0.7]), rng) in (0, 1)
+
+
+class TestSampleMixture:
+    def test_picks_only_component_with_mass(self, rng):
+        sample, used_first = sample_mixture(
+            1.0, 0.0, lambda: 7, lambda: 9, rng
+        )
+        assert sample == 7
+        assert used_first
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            sample_mixture(-1.0, 1.0, lambda: 0, lambda: 1)
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            sample_mixture(0.0, 0.0, lambda: 0, lambda: 1)
+
+    def test_mixture_proportion(self, rng):
+        outcomes = [
+            sample_mixture(3.0, 1.0, lambda: 0, lambda: 1, rng)[1]
+            for _ in range(4000)
+        ]
+        assert np.mean(outcomes) == pytest.approx(0.75, abs=0.05)
+
+
+class TestCategoricalFromCounts:
+    def test_smoothing_allows_zero_counts(self, rng):
+        draws = [
+            categorical_from_counts(np.array([0, 0, 0]), smoothing=1.0, rng=rng)
+            for _ in range(30)
+        ]
+        assert set(draws) <= {0, 1, 2}
+
+    def test_zero_smoothing_respects_support(self, rng):
+        draws = [
+            categorical_from_counts(np.array([0, 5, 0]), smoothing=0.0, rng=rng)
+            for _ in range(30)
+        ]
+        assert set(draws) == {1}

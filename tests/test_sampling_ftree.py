@@ -1,0 +1,128 @@
+"""Tests for the F+ tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling import FPlusTree
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FPlusTree([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FPlusTree([1.0, -1.0])
+
+    def test_total_and_weights(self):
+        tree = FPlusTree([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert tree.total == pytest.approx(15.0)
+        np.testing.assert_allclose(tree.weights(), [1, 2, 3, 4, 5])
+        assert tree.size == 5
+        assert len(tree) == 5
+
+    def test_non_power_of_two_size(self):
+        tree = FPlusTree([1.0, 1.0, 1.0])
+        assert tree.total == pytest.approx(3.0)
+        assert tree.weight(2) == pytest.approx(1.0)
+
+
+class TestUpdates:
+    def test_update_changes_total(self):
+        tree = FPlusTree([1.0, 2.0, 3.0])
+        tree.update(1, 5.0)
+        assert tree.weight(1) == pytest.approx(5.0)
+        assert tree.total == pytest.approx(9.0)
+
+    def test_add_delta(self):
+        tree = FPlusTree([1.0, 2.0])
+        tree.add(0, 0.5)
+        assert tree.weight(0) == pytest.approx(1.5)
+        tree.add(0, -1.5)
+        assert tree.weight(0) == pytest.approx(0.0)
+
+    def test_add_below_zero_raises(self):
+        tree = FPlusTree([1.0, 2.0])
+        with pytest.raises(ValueError):
+            tree.add(0, -2.0)
+
+    def test_update_out_of_range_raises(self):
+        tree = FPlusTree([1.0])
+        with pytest.raises(IndexError):
+            tree.update(1, 1.0)
+
+    def test_update_negative_weight_raises(self):
+        tree = FPlusTree([1.0])
+        with pytest.raises(ValueError):
+            tree.update(0, -1.0)
+
+
+class TestSampling:
+    def test_sample_within_support(self, rng):
+        tree = FPlusTree([0.0, 1.0, 0.0, 2.0])
+        draws = [tree.sample(rng) for _ in range(200)]
+        assert set(draws) <= {1, 3}
+
+    def test_sample_many_frequencies(self, rng):
+        weights = np.array([1.0, 3.0, 6.0])
+        tree = FPlusTree(weights)
+        draws = tree.sample_many(30_000, rng)
+        empirical = np.bincount(draws, minlength=3) / draws.size
+        np.testing.assert_allclose(empirical, weights / weights.sum(), atol=0.02)
+
+    def test_sample_all_zero_raises(self):
+        tree = FPlusTree([1.0])
+        tree.update(0, 0.0)
+        with pytest.raises(ValueError):
+            tree.sample(np.random.default_rng(0))
+
+    def test_sampling_respects_updates(self, rng):
+        tree = FPlusTree([1.0, 1.0])
+        tree.update(0, 0.0)
+        draws = tree.sample_many(100, rng)
+        assert set(np.unique(draws)) == {1}
+
+
+class TestProperties:
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ).filter(lambda values: sum(values) > 0),
+        updates=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=39),
+                st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+            ),
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_total_always_equals_sum_of_leaves(self, weights, updates):
+        tree = FPlusTree(weights)
+        reference = np.asarray(weights, dtype=np.float64)
+        for index, value in updates:
+            index = index % len(weights)
+            tree.update(index, value)
+            reference[index] = value
+        assert tree.total == pytest.approx(reference.sum(), rel=1e-9, abs=1e-9)
+        np.testing.assert_allclose(tree.weights(), reference)
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.01, max_value=100.0),
+            min_size=1,
+            max_size=20,
+        ),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_samples_in_range(self, weights, seed):
+        tree = FPlusTree(weights)
+        draws = tree.sample_many(32, np.random.default_rng(seed))
+        assert draws.min() >= 0
+        assert draws.max() < len(weights)

@@ -1,0 +1,72 @@
+"""Tests for the generic Metropolis-Hastings helpers."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import MetropolisHastings, mh_accept
+from repro.sampling.mh import mh_acceptance_probability
+
+
+class TestAcceptanceProbability:
+    def test_symmetric_proposal_reduces_to_target_ratio(self):
+        probability = mh_acceptance_probability(2.0, 1.0, 1.0, 1.0)
+        assert probability == pytest.approx(0.5)
+
+    def test_clipped_at_one(self):
+        assert mh_acceptance_probability(1.0, 10.0, 1.0, 1.0) == 1.0
+
+    def test_zero_current_density_always_accepts(self):
+        assert mh_acceptance_probability(0.0, 1.0, 1.0, 1.0) == 1.0
+
+    def test_negative_density_raises(self):
+        with pytest.raises(ValueError):
+            mh_acceptance_probability(-1.0, 1.0, 1.0, 1.0)
+
+    def test_proposal_asymmetry_matters(self):
+        # p(x̂)/p(x) = 1 but q(x|x̂)/q(x̂|x) = 0.5.
+        assert mh_acceptance_probability(1.0, 1.0, 0.5, 1.0) == pytest.approx(0.5)
+
+
+class TestMhAccept:
+    def test_always_accepts_better_state(self, rng):
+        assert mh_accept(1.0, 100.0, 1.0, 1.0, rng)
+
+    def test_acceptance_frequency(self, rng):
+        accepted = [mh_accept(2.0, 1.0, 1.0, 1.0, rng) for _ in range(4000)]
+        assert np.mean(accepted) == pytest.approx(0.5, abs=0.05)
+
+
+class TestMetropolisHastingsChain:
+    def test_uniform_proposal_recovers_target(self):
+        # Target over {0,1,2} with weights 1:2:3, uniform independence proposal.
+        target = np.array([1.0, 2.0, 3.0])
+        chain = MetropolisHastings(
+            target=lambda state: float(target[state]),
+            propose=lambda state, rng: int(rng.integers(3)),
+            proposal_density=lambda state, given: 1.0 / 3.0,
+            rng=0,
+        )
+        states = chain.run(initial_state=0, steps=30_000)
+        empirical = np.bincount(states, minlength=3) / len(states)
+        np.testing.assert_allclose(empirical, target / target.sum(), atol=0.03)
+
+    def test_acceptance_rate_bookkeeping(self):
+        chain = MetropolisHastings(
+            target=lambda state: 1.0,
+            propose=lambda state, rng: int(rng.integers(5)),
+            proposal_density=lambda state, given: 0.2,
+            rng=1,
+        )
+        assert chain.acceptance_rate == 0.0
+        chain.run(0, 100)
+        assert chain.proposed == 100
+        assert chain.accepted == 100  # flat target, symmetric proposal
+
+    def test_negative_steps_raise(self):
+        chain = MetropolisHastings(
+            target=lambda state: 1.0,
+            propose=lambda state, rng: 0,
+            proposal_density=lambda state, given: 1.0,
+        )
+        with pytest.raises(ValueError):
+            chain.run(0, -1)
