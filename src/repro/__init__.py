@@ -27,15 +27,22 @@ Subpackages
     partitioning strategies and a simulated cluster.
 ``repro.report``
     Helpers shared by the benchmark harness for formatting tables and series.
+``repro.serving``
+    The model-serving layer: immutable snapshots, batched unseen-document
+    inference and a micro-batching topic server.
 """
 
 from repro.core.warplda import WarpLDA, WarpLDAConfig
 from repro.corpus.corpus import Corpus, Document
 from repro.corpus.vocabulary import Vocabulary
+from repro.serving import InferenceEngine, ModelSnapshot, TopicServer
 
 __all__ = [
     "Corpus",
     "Document",
+    "InferenceEngine",
+    "ModelSnapshot",
+    "TopicServer",
     "Vocabulary",
     "WarpLDA",
     "WarpLDAConfig",

@@ -436,6 +436,19 @@ class WarpLDA:
         counts = self.word_topic_counts().T.astype(np.float64) + self.beta
         return counts / counts.sum(axis=1, keepdims=True)
 
+    def export_snapshot(self):
+        """Freeze the current model into a :class:`~repro.serving.ModelSnapshot`.
+
+        Same hook as :meth:`repro.samplers.base.LDASampler.export_snapshot`,
+        so the serving layer treats all samplers uniformly.
+        """
+        # Imported here so the training layer has no hard dependency on serving.
+        from repro.serving.snapshot import ModelSnapshot
+
+        return ModelSnapshot.from_model(
+            self, extra_metadata={"num_mh_steps": self.num_mh_steps}
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"WarpLDA(K={self.num_topics}, M={self.num_mh_steps}, "

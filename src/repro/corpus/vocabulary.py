@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
 
 __all__ = ["Vocabulary"]
 
@@ -82,6 +84,52 @@ class Vocabulary:
     def get(self, word: str, default: Optional[int] = None) -> Optional[int]:
         """Return the id of ``word`` or ``default`` if absent."""
         return self._word_to_id.get(word, default)
+
+    def encode(self, tokens: Iterable[str], on_oov: str = "drop") -> np.ndarray:
+        """Map ``tokens`` to word ids, handling out-of-vocabulary tokens.
+
+        Parameters
+        ----------
+        tokens:
+            Tokens of one document, in order.
+        on_oov:
+            ``"drop"`` (default) silently skips unknown tokens — the standard
+            behaviour when folding unseen documents into a frozen model —
+            while ``"error"`` raises :class:`KeyError` on the first one.
+
+        Returns
+        -------
+        numpy.ndarray
+            The ids of the known tokens, in document order (``int64``).
+        """
+        if on_oov not in ("drop", "error"):
+            raise ValueError(f"on_oov must be 'drop' or 'error', got {on_oov!r}")
+        mapping = self._word_to_id
+        if on_oov == "error":
+            try:
+                ids = [mapping[token] for token in tokens]
+            except KeyError as exc:
+                raise KeyError(f"word {exc.args[0]!r} not in vocabulary") from None
+        else:
+            ids = [wid for wid in (mapping.get(token) for token in tokens) if wid is not None]
+        return np.asarray(ids, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Serialization (used by serving snapshots)
+    # ------------------------------------------------------------------ #
+    def to_serializable(self) -> Dict[str, Any]:
+        """Return a JSON-compatible dict fully describing this vocabulary."""
+        return {"words": list(self._id_to_word), "frozen": self._frozen}
+
+    @classmethod
+    def from_serializable(cls, data: Dict[str, Any]) -> "Vocabulary":
+        """Rebuild a vocabulary from :meth:`to_serializable` output."""
+        if "words" not in data:
+            raise ValueError("serialized vocabulary must contain a 'words' list")
+        vocab = cls(data["words"])
+        if data.get("frozen", False):
+            vocab.freeze()
+        return vocab
 
     # ------------------------------------------------------------------ #
     def __getitem__(self, word: str) -> int:

@@ -19,11 +19,12 @@ from repro.evaluation.likelihood import (
     log_joint_likelihood,
     log_joint_likelihood_from_assignments,
 )
-from repro.evaluation.perplexity import held_out_perplexity
+from repro.evaluation.perplexity import document_topic_inference, held_out_perplexity
 
 __all__ = [
     "ConvergenceRecord",
     "ConvergenceTracker",
+    "document_topic_inference",
     "held_out_perplexity",
     "iterations_to_reach",
     "log_joint_likelihood",

@@ -1,60 +1,72 @@
-"""Held-out perplexity for trained topic models."""
+"""Held-out perplexity for trained topic models.
+
+Fold-in inference is delegated to the vectorised batch kernel of the serving
+layer (:func:`repro.serving.infer.em_fold_in`), so evaluating a held-out
+corpus costs one NumPy kernel per document-length bucket instead of a Python
+loop per document.
+"""
 
 from __future__ import annotations
+
+from typing import Union
 
 import numpy as np
 
 from repro.corpus.corpus import Corpus
+from repro.serving.infer import em_fold_in
 
 __all__ = ["held_out_perplexity", "document_topic_inference"]
+
+
+def _resolve_alpha(alpha: Union[float, np.ndarray], num_topics: int) -> np.ndarray:
+    """Normalise a scalar or per-topic ``alpha`` to a length-``K`` vector."""
+    alpha_vector = np.asarray(alpha, dtype=np.float64)
+    if alpha_vector.ndim == 0:
+        alpha_vector = np.full(num_topics, float(alpha_vector))
+    if alpha_vector.shape != (num_topics,):
+        raise ValueError(
+            f"alpha must be a scalar or length-{num_topics} vector, got shape "
+            f"{alpha_vector.shape}"
+        )
+    if np.any(alpha_vector <= 0):
+        raise ValueError("alpha entries must be positive")
+    return alpha_vector
 
 
 def document_topic_inference(
     corpus: Corpus,
     phi: np.ndarray,
-    alpha: float,
+    alpha: Union[float, np.ndarray],
     num_iterations: int = 30,
 ) -> np.ndarray:
     """Fold-in inference of θ for held-out documents given fixed φ.
 
     Uses fixed-point EM updates of the document-topic proportions, which is
-    the standard "fold-in" evaluation for LDA when φ is held fixed.
+    the standard "fold-in" evaluation for LDA when φ is held fixed.  ``alpha``
+    may be a symmetric scalar or a per-topic vector (matching
+    :func:`repro.samplers.base.resolve_hyperparameters`).  Documents are
+    batched by length and updated with one vectorised kernel per batch.
     """
     phi = np.asarray(phi, dtype=np.float64)
     if phi.ndim != 2:
         raise ValueError("phi must be a K x V matrix")
-    num_topics = phi.shape[0]
-    if num_iterations <= 0:
-        raise ValueError("num_iterations must be positive")
-
-    theta = np.full((corpus.num_documents, num_topics), 1.0 / num_topics)
-    for doc_index in range(corpus.num_documents):
-        words = corpus.document_words(doc_index)
-        if words.size == 0:
-            continue
-        word_probs = phi[:, words]  # K x L_d
-        proportions = theta[doc_index]
-        for _ in range(num_iterations):
-            responsibilities = word_probs * proportions[:, None]
-            normaliser = responsibilities.sum(axis=0)
-            normaliser[normaliser == 0] = 1e-300
-            responsibilities /= normaliser
-            proportions = responsibilities.sum(axis=1) + alpha
-            proportions /= proportions.sum()
-        theta[doc_index] = proportions
-    return theta
+    alpha_vector = _resolve_alpha(alpha, phi.shape[0])
+    documents = [corpus.document_words(d) for d in range(corpus.num_documents)]
+    # Empty documents keep the prior mean α / ᾱ (uniform for symmetric α).
+    return em_fold_in(documents, phi, alpha_vector, num_iterations)
 
 
 def held_out_perplexity(
     corpus: Corpus,
     phi: np.ndarray,
-    alpha: float,
+    alpha: Union[float, np.ndarray],
     num_iterations: int = 30,
 ) -> float:
     """Perplexity of ``corpus`` under topics ``phi`` with folded-in θ.
 
     Lower is better.  ``phi`` is the ``K x V`` topic-word distribution (rows
-    sum to one), e.g. the output of a trained sampler's ``phi()``.
+    sum to one), e.g. the output of a trained sampler's ``phi()``; ``alpha``
+    is a symmetric scalar or a per-topic vector.
     """
     phi = np.asarray(phi, dtype=np.float64)
     theta = document_topic_inference(corpus, phi, alpha, num_iterations)

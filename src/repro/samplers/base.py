@@ -246,6 +246,17 @@ class LDASampler(abc.ABC):
         counts = self.state.word_topic.T.astype(np.float64) + self.beta
         return counts / counts.sum(axis=1, keepdims=True)
 
+    def export_snapshot(self):
+        """Freeze the current model into a :class:`~repro.serving.ModelSnapshot`.
+
+        The snapshot captures Φ, α, β and the vocabulary and is the input to
+        the serving layer (:mod:`repro.serving`).
+        """
+        # Imported here so the training layer has no hard dependency on serving.
+        from repro.serving.snapshot import ModelSnapshot
+
+        return ModelSnapshot.from_model(self)
+
     @property
     def assignments(self) -> np.ndarray:
         """Per-token topic assignments (aligned with the corpus token order)."""

@@ -1,0 +1,300 @@
+"""A micro-batching topic server over a frozen model snapshot.
+
+:class:`TopicServer` is the front door of the serving layer: requests (raw
+token documents or pre-encoded id arrays) are answered with folded-in θ rows.
+Three production mechanisms sit between a request and the
+:class:`~repro.serving.infer.InferenceEngine`:
+
+* **Micro-batching** — requests are collected and dispatched to the engine in
+  batches of at most ``max_batch_size``, amortising the vectorised kernels
+  across concurrent requests instead of paying per-document overheads.  Use
+  :meth:`TopicServer.submit` + :meth:`TopicServer.flush` for the queueing
+  flow, or :meth:`TopicServer.infer_batch` to serve a ready batch in one call.
+* **Result caching** — an LRU cache keyed on the document's bag of words.
+  Fold-in is exchangeable (token order never enters the math), so two
+  permutations of the same document share one cache entry; repeated requests
+  (the common case under heavy traffic) skip inference entirely.
+* **Observability** — per-request latencies and batch sizes are recorded and
+  summarised as throughput plus p50/p95/p99 latency percentiles in
+  :meth:`TopicServer.stats`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.serving.infer import InferenceEngine
+
+__all__ = ["LRUCache", "ServerStats", "TopicServer"]
+
+#: Cache key type: the sorted ``(word_id, count)`` pairs of a document.
+BowKey = Tuple[Tuple[int, int], ...]
+
+DocumentLike = Union[np.ndarray, Sequence[int], Sequence[str]]
+
+
+def bow_key(word_ids: np.ndarray) -> BowKey:
+    """The cache key of a document: its bag of words as sorted pairs.
+
+    Exact (no hashing collisions) and order-insensitive, matching the
+    exchangeability of fold-in inference.
+    """
+    unique, counts = np.unique(word_ids, return_counts=True)
+    return tuple(zip(unique.tolist(), counts.tolist()))
+
+
+class LRUCache:
+    """A fixed-capacity least-recently-used map from bag-of-words keys to θ."""
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[BowKey, np.ndarray]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: BowKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: BowKey) -> Optional[np.ndarray]:
+        """Return the cached θ row for ``key`` (marking it recently used)."""
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: BowKey, value: np.ndarray) -> None:
+        """Insert ``key``, evicting the least-recently-used entry if full."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: Sliding-window size for per-request latency records: percentiles are
+#: computed over the most recent window, keeping memory O(1) under sustained
+#: traffic.
+LATENCY_WINDOW = 8192
+
+
+@dataclass
+class ServerStats:
+    """Aggregate serving statistics since construction (or :meth:`reset`)."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    batches: int = 0
+    documents_inferred: int = 0
+    tokens_inferred: int = 0
+    inference_seconds: float = 0.0
+    #: Per-request wall-clock latencies in seconds (cache hits included),
+    #: most recent :data:`LATENCY_WINDOW` requests only.  A request's latency
+    #: is the duration of the serving call that answered it — under
+    #: micro-batching every request in a call waits for the whole call.
+    latencies: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW)
+    )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    @property
+    def throughput_docs_per_s(self) -> float:
+        return (
+            self.documents_inferred / self.inference_seconds
+            if self.inference_seconds > 0
+            else 0.0
+        )
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        return (
+            self.tokens_inferred / self.inference_seconds
+            if self.inference_seconds > 0
+            else 0.0
+        )
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 of the per-request latencies, in milliseconds."""
+        if not self.latencies:
+            return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+        values = np.asarray(self.latencies) * 1e3
+        p50, p95, p99 = np.percentile(values, [50, 95, 99])
+        return {"p50_ms": float(p50), "p95_ms": float(p95), "p99_ms": float(p99)}
+
+    def summary(self) -> str:
+        """A one-block human-readable report."""
+        pct = self.latency_percentiles()
+        return "\n".join(
+            [
+                f"requests            {self.requests}",
+                f"cache hits          {self.cache_hits} "
+                f"({self.cache_hit_rate:.1%})",
+                f"micro-batches       {self.batches}",
+                f"documents inferred  {self.documents_inferred}",
+                f"tokens inferred     {self.tokens_inferred}",
+                f"throughput          {self.throughput_docs_per_s:.1f} docs/s, "
+                f"{self.throughput_tokens_per_s:.0f} tokens/s",
+                f"latency             p50 {pct['p50_ms']:.2f} ms, "
+                f"p95 {pct['p95_ms']:.2f} ms, p99 {pct['p99_ms']:.2f} ms",
+            ]
+        )
+
+
+class TopicServer:
+    """Serve θ inference requests with micro-batching and an LRU cache.
+
+    Parameters
+    ----------
+    engine:
+        The inference engine (and, through it, the frozen snapshot) to serve.
+    max_batch_size:
+        Maximum number of documents dispatched to the engine per micro-batch.
+    cache_capacity:
+        LRU result-cache capacity in documents; ``0`` disables caching.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import WarpLDA
+    >>> from repro.corpus import load_preset
+    >>> from repro.serving import InferenceEngine, TopicServer
+    >>> corpus = load_preset("nytimes_like", scale=0.05, rng=0)
+    >>> snapshot = WarpLDA(corpus, num_topics=10, seed=0).fit(5).export_snapshot()
+    >>> server = TopicServer(InferenceEngine(snapshot))
+    >>> theta = server.infer_batch([corpus.document_words(0)])
+    >>> theta.shape
+    (1, 10)
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        max_batch_size: int = 64,
+        cache_capacity: int = 4096,
+    ):
+        if max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        self.engine = engine
+        self.max_batch_size = int(max_batch_size)
+        self.cache = LRUCache(cache_capacity)
+        self.stats_ = ServerStats()
+        self._queue: List[np.ndarray] = []
+
+    # ------------------------------------------------------------------ #
+    # Request intake
+    # ------------------------------------------------------------------ #
+    def _encode_one(self, document: DocumentLike) -> np.ndarray:
+        """Normalise one request to a word-id array (OOV tokens dropped)."""
+        if isinstance(document, np.ndarray):
+            return np.asarray(document, dtype=np.int64)
+        items = list(document)
+        if any(isinstance(item, str) for item in items):
+            return self.engine.snapshot.vocabulary.encode(items, on_oov="drop")
+        return np.asarray(items, dtype=np.int64)
+
+    def submit(self, document: DocumentLike) -> int:
+        """Enqueue one request; returns its index into the next :meth:`flush`."""
+        self._queue.append(self._encode_one(document))
+        return len(self._queue) - 1
+
+    @property
+    def pending(self) -> int:
+        """Number of queued, not yet flushed, requests."""
+        return len(self._queue)
+
+    def flush(self) -> np.ndarray:
+        """Serve every queued request and clear the queue.
+
+        Returns the ``pending x K`` θ matrix, rows aligned with the indices
+        returned by :meth:`submit`.
+        """
+        queue, self._queue = self._queue, []
+        return self._serve(queue)
+
+    def infer_batch(self, documents: Sequence[DocumentLike]) -> np.ndarray:
+        """Serve a ready batch of requests in one call (queue bypassed)."""
+        return self._serve([self._encode_one(doc) for doc in documents])
+
+    # ------------------------------------------------------------------ #
+    # Serving core
+    # ------------------------------------------------------------------ #
+    def _serve(self, documents: List[np.ndarray]) -> np.ndarray:
+        num_topics = self.engine.num_topics
+        theta = np.zeros((len(documents), num_topics))
+        if not documents:
+            return theta
+
+        request_started = time.perf_counter()
+        keys = [bow_key(doc) for doc in documents]
+        misses: List[int] = []
+        # First occurrence of each missing key infers; duplicates within the
+        # batch piggyback on it, counted as cache hits.
+        miss_key_to_row: Dict[BowKey, int] = {}
+        duplicate_rows: List[Tuple[int, int]] = []
+        for row, key in enumerate(keys):
+            cached = self.cache.get(key)
+            if cached is not None:
+                theta[row] = cached
+                self.stats_.cache_hits += 1
+            elif key in miss_key_to_row:
+                duplicate_rows.append((row, miss_key_to_row[key]))
+                self.stats_.cache_hits += 1
+            else:
+                miss_key_to_row[key] = row
+                misses.append(row)
+
+        for start in range(0, len(misses), self.max_batch_size):
+            batch_rows = misses[start : start + self.max_batch_size]
+            batch_docs = [documents[row] for row in batch_rows]
+            batch_started = time.perf_counter()
+            batch_theta = self.engine.infer_ids(batch_docs)
+            elapsed = time.perf_counter() - batch_started
+            self.stats_.batches += 1
+            self.stats_.documents_inferred += len(batch_rows)
+            self.stats_.tokens_inferred += int(sum(doc.size for doc in batch_docs))
+            self.stats_.inference_seconds += elapsed
+            for row, theta_row in zip(batch_rows, batch_theta):
+                theta[row] = theta_row
+                cache_row = theta_row.copy()
+                cache_row.flags.writeable = False
+                self.cache.put(keys[row], cache_row)
+
+        for row, source_row in duplicate_rows:
+            theta[row] = theta[source_row]
+
+        # Every request in this call observed the full call duration.
+        call_latency = time.perf_counter() - request_started
+        self.stats_.requests += len(documents)
+        self.stats_.latencies.extend([call_latency] * len(documents))
+        return theta
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> ServerStats:
+        """The live statistics object (see :class:`ServerStats`)."""
+        return self.stats_
+
+    def reset_stats(self) -> None:
+        """Zero all counters and latency records (cache is kept)."""
+        self.stats_ = ServerStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TopicServer(K={self.engine.num_topics}, "
+            f"max_batch_size={self.max_batch_size}, cached={len(self.cache)}, "
+            f"requests={self.stats_.requests})"
+        )

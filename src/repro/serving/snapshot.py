@@ -1,0 +1,249 @@
+"""Immutable model snapshots: the unit of deployment for serving.
+
+Training (the samplers in :mod:`repro.samplers` and :mod:`repro.core`) and
+serving (:mod:`repro.serving.infer`, :mod:`repro.serving.server`) meet at a
+single artefact: a :class:`ModelSnapshot` freezing the topic-word
+distributions Φ, the Dirichlet hyper-parameters and the vocabulary at a point
+in the training trajectory.  A snapshot is
+
+* **immutable** — the arrays are marked read-only, so a server holding a
+  snapshot can never be corrupted by a concurrently training sampler;
+* **self-contained** — the vocabulary travels with Φ, so unseen documents can
+  be encoded (with OOV handling) without access to the training corpus;
+* **persistent** — :meth:`ModelSnapshot.save` writes a ``.npz`` with the
+  numeric state plus a human-readable JSON sidecar with the vocabulary and
+  hyper-parameters, and :meth:`ModelSnapshot.load` round-trips it bit-exactly.
+
+Every trained sampler exposes ``export_snapshot()`` (see
+:class:`repro.samplers.base.LDASampler` and :class:`repro.core.warplda.WarpLDA`),
+so the serving layer is uniform across algorithms.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from repro.corpus.vocabulary import Vocabulary
+
+__all__ = ["ModelSnapshot"]
+
+#: On-disk format version written to the JSON sidecar.
+SNAPSHOT_FORMAT_VERSION = 1
+
+
+def _sidecar_path(path: Path) -> Path:
+    """The JSON sidecar written next to the ``.npz`` array file."""
+    return path.with_suffix(path.suffix + ".json") if path.suffix != ".json" else path
+
+
+class ModelSnapshot:
+    """A frozen topic model: Φ, hyper-parameters and the vocabulary.
+
+    Parameters
+    ----------
+    phi:
+        The ``K x V`` topic-word distributions; every row must sum to one.
+    alpha:
+        Scalar or length-``K`` document Dirichlet parameter.
+    beta:
+        Symmetric word Dirichlet parameter.
+    vocabulary:
+        The training vocabulary; ``V`` must equal ``vocabulary.size``.  The
+        snapshot stores a frozen copy so later lookups can never grow it.
+    metadata:
+        Optional JSON-compatible provenance (sampler name, iterations, ...).
+    """
+
+    __slots__ = ("_phi", "_alpha", "_beta", "_vocabulary", "_metadata")
+
+    def __init__(
+        self,
+        phi: np.ndarray,
+        alpha: Union[float, np.ndarray],
+        beta: float,
+        vocabulary: Vocabulary,
+        metadata: Optional[Dict[str, Any]] = None,
+    ):
+        phi = np.array(phi, dtype=np.float64, copy=True)
+        if phi.ndim != 2:
+            raise ValueError(f"phi must be a K x V matrix, got shape {phi.shape}")
+        num_topics, vocab_size = phi.shape
+        if vocab_size != vocabulary.size:
+            raise ValueError(
+                f"phi has {vocab_size} columns but the vocabulary has "
+                f"{vocabulary.size} words"
+            )
+        if np.any(phi < 0):
+            raise ValueError("phi entries must be non-negative")
+        row_sums = phi.sum(axis=1)
+        if not np.allclose(row_sums, 1.0, atol=1e-6):
+            raise ValueError("phi rows must each sum to one")
+
+        alpha_vector = np.array(alpha, dtype=np.float64, copy=True)
+        if alpha_vector.ndim == 0:
+            alpha_vector = np.full(num_topics, float(alpha_vector))
+        if alpha_vector.shape != (num_topics,):
+            raise ValueError(
+                f"alpha must be a scalar or length-{num_topics} vector, got "
+                f"shape {alpha_vector.shape}"
+            )
+        if np.any(alpha_vector <= 0):
+            raise ValueError("alpha entries must be positive")
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+
+        phi.flags.writeable = False
+        alpha_vector.flags.writeable = False
+        self._phi = phi
+        self._alpha = alpha_vector
+        self._beta = float(beta)
+        self._vocabulary = Vocabulary(vocabulary.words()).freeze()
+        self._metadata = dict(metadata) if metadata else {}
+
+    # ------------------------------------------------------------------ #
+    # Read-only accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def phi(self) -> np.ndarray:
+        """The frozen ``K x V`` topic-word distributions (read-only view)."""
+        return self._phi
+
+    @property
+    def alpha(self) -> np.ndarray:
+        """The length-``K`` document Dirichlet parameter (read-only view)."""
+        return self._alpha
+
+    @property
+    def alpha_sum(self) -> float:
+        """``sum(alpha)``, the fold-in normaliser."""
+        return float(self._alpha.sum())
+
+    @property
+    def beta(self) -> float:
+        """The symmetric word Dirichlet parameter."""
+        return self._beta
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The frozen training vocabulary."""
+        return self._vocabulary
+
+    @property
+    def metadata(self) -> Dict[str, Any]:
+        """Provenance recorded at export time (a copy)."""
+        return dict(self._metadata)
+
+    @property
+    def num_topics(self) -> int:
+        """Number of topics ``K``."""
+        return int(self._phi.shape[0])
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of words ``V``."""
+        return int(self._phi.shape[1])
+
+    # ------------------------------------------------------------------ #
+    # Construction from trained models
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_model(cls, model, extra_metadata: Optional[Dict[str, Any]] = None) -> "ModelSnapshot":
+        """Freeze any trained sampler exposing ``phi()`` / ``alpha`` / ``beta``.
+
+        Works for every :class:`~repro.samplers.base.LDASampler` subclass and
+        for :class:`~repro.core.warplda.WarpLDA`; both also expose this as
+        ``model.export_snapshot()``.
+        """
+        metadata = {
+            "sampler": getattr(model, "name", type(model).__name__),
+            "iterations": int(getattr(model, "iterations_completed", 0)),
+            "num_documents": int(model.corpus.num_documents),
+            "num_tokens": int(model.corpus.num_tokens),
+        }
+        if extra_metadata:
+            metadata.update(extra_metadata)
+        return cls(
+            phi=model.phi(),
+            alpha=model.alpha,
+            beta=model.beta,
+            vocabulary=model.corpus.vocabulary,
+            metadata=metadata,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the snapshot to ``path`` (``.npz``) plus a JSON sidecar.
+
+        Returns the array-file path actually written.  The sidecar lands next
+        to it as ``<path>.json`` and holds everything non-numeric: format
+        version, β, the vocabulary and the metadata.
+        """
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez(path, phi=self._phi, alpha=self._alpha)
+        sidecar = {
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "beta": self._beta,
+            "num_topics": self.num_topics,
+            "vocabulary": self._vocabulary.to_serializable(),
+            "metadata": self._metadata,
+        }
+        _sidecar_path(path).write_text(
+            json.dumps(sidecar, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ModelSnapshot":
+        """Load a snapshot previously written by :meth:`save`."""
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+        sidecar_file = _sidecar_path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"snapshot array file not found: {path}")
+        if not sidecar_file.exists():
+            raise FileNotFoundError(f"snapshot sidecar not found: {sidecar_file}")
+        sidecar = json.loads(sidecar_file.read_text(encoding="utf-8"))
+        version = sidecar.get("format_version")
+        if version != SNAPSHOT_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported snapshot format version {version!r} "
+                f"(expected {SNAPSHOT_FORMAT_VERSION})"
+            )
+        with np.load(path) as arrays:
+            phi = arrays["phi"]
+            alpha = arrays["alpha"]
+        vocabulary = Vocabulary.from_serializable(sidecar["vocabulary"])
+        return cls(
+            phi=phi,
+            alpha=alpha,
+            beta=float(sidecar["beta"]),
+            vocabulary=vocabulary,
+            metadata=sidecar.get("metadata", {}),
+        )
+
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ModelSnapshot):
+            return NotImplemented
+        return (
+            np.array_equal(self._phi, other._phi)
+            and np.array_equal(self._alpha, other._alpha)
+            and self._beta == other._beta
+            and self._vocabulary == other._vocabulary
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ModelSnapshot(K={self.num_topics}, V={self.vocabulary_size}, "
+            f"beta={self._beta}, sampler={self._metadata.get('sampler')!r})"
+        )

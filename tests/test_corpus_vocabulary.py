@@ -68,3 +68,43 @@ class TestEquality:
     def test_from_words_roundtrip(self):
         words = ["alpha", "beta", "gamma"]
         assert Vocabulary.from_words(words).words() == words
+
+
+class TestEncode:
+    def test_drops_oov_by_default(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        ids = vocab.encode(["a", "zzz", "c", "b", "yyy"])
+        assert ids.tolist() == [0, 2, 1]
+
+    def test_error_mode_raises_on_oov(self):
+        vocab = Vocabulary(["a", "b"])
+        assert vocab.encode(["b", "a"], on_oov="error").tolist() == [1, 0]
+        with pytest.raises(KeyError):
+            vocab.encode(["a", "zzz"], on_oov="error")
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary(["a"]).encode(["a"], on_oov="ignore")
+
+    def test_empty_and_all_oov_documents(self):
+        vocab = Vocabulary(["a"])
+        assert vocab.encode([]).size == 0
+        assert vocab.encode(["x", "y"]).size == 0
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_order_and_frozen_flag(self):
+        vocab = Vocabulary(["gamma", "alpha", "beta"]).freeze()
+        restored = Vocabulary.from_serializable(vocab.to_serializable())
+        assert restored == vocab
+        assert restored.frozen
+
+    def test_unfrozen_roundtrip(self):
+        vocab = Vocabulary(["a", "b"])
+        restored = Vocabulary.from_serializable(vocab.to_serializable())
+        assert restored == vocab
+        assert not restored.frozen
+
+    def test_missing_words_key_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary.from_serializable({"frozen": True})

@@ -52,3 +52,44 @@ class TestHeldOutPerplexity:
         assert held_out_perplexity(tiny_corpus, informative, 0.1) < held_out_perplexity(
             tiny_corpus, uniform, 0.1
         )
+
+
+class TestPerTopicAlpha:
+    def test_vector_alpha_matches_per_document_loop(self, tiny_corpus):
+        rng = np.random.default_rng(3)
+        num_topics = 4
+        phi = rng.random((num_topics, tiny_corpus.vocabulary_size))
+        phi /= phi.sum(axis=1, keepdims=True)
+        alpha = np.array([0.05, 0.1, 0.2, 0.4])
+
+        theta = document_topic_inference(tiny_corpus, phi, alpha, num_iterations=20)
+
+        # Per-document reference with the same fixed-point updates.
+        for doc_index in range(tiny_corpus.num_documents):
+            words = tiny_corpus.document_words(doc_index)
+            word_probs = phi[:, words]
+            proportions = np.full(num_topics, 1.0 / num_topics)
+            for _ in range(20):
+                responsibilities = word_probs * proportions[:, None]
+                normaliser = responsibilities.sum(axis=0)
+                normaliser[normaliser == 0] = 1e-300
+                responsibilities /= normaliser
+                proportions = responsibilities.sum(axis=1) + alpha
+                proportions /= proportions.sum()
+            np.testing.assert_allclose(theta[doc_index], proportions, rtol=1e-10)
+
+    def test_scalar_and_equivalent_vector_agree(self, tiny_corpus):
+        phi = np.full((3, tiny_corpus.vocabulary_size), 1.0 / tiny_corpus.vocabulary_size)
+        scalar = document_topic_inference(tiny_corpus, phi, 0.2)
+        vector = document_topic_inference(tiny_corpus, phi, np.full(3, 0.2))
+        np.testing.assert_array_equal(scalar, vector)
+        assert held_out_perplexity(tiny_corpus, phi, 0.2) == pytest.approx(
+            held_out_perplexity(tiny_corpus, phi, np.full(3, 0.2))
+        )
+
+    def test_wrong_length_alpha_rejected(self, tiny_corpus):
+        phi = np.full((3, tiny_corpus.vocabulary_size), 1.0 / tiny_corpus.vocabulary_size)
+        with pytest.raises(ValueError):
+            document_topic_inference(tiny_corpus, phi, np.array([0.1, 0.1]))
+        with pytest.raises(ValueError):
+            held_out_perplexity(tiny_corpus, phi, np.array([0.1, -0.1, 0.1]))
