@@ -1,0 +1,120 @@
+"""Data-parallel training: measured speedup, quality parity, and validation
+of the Sec. 5 cluster simulator against real multiprocess execution.
+
+Three questions, one table each:
+
+* **Speedup** — wall-clock seconds per epoch of ``ParallelTrainer`` with 1,
+  2 and 4 process workers versus the serial ``WarpLDA`` sampler.  Real
+  speedup needs real cores: on a single-CPU machine the workers time-share
+  and the table records that honestly (the ``cpus`` line).
+* **Quality parity** — held-out perplexity of the parallel model versus the
+  serial model after the same number of sweeps (the epoch-frozen external
+  counts are a one-iteration-stale approximation; the paper's delayed-count
+  argument says it should cost almost nothing).
+* **Simulator validation** — the modelled per-iteration speedup of
+  :class:`~repro.distributed.cluster.SimulatedCluster` next to the measured
+  one, closing the loop between the cost model (Fig. 6/9) and execution.
+"""
+
+import os
+import time
+
+from repro.core import WarpLDA
+from repro.corpus import load_preset
+from repro.distributed import ClusterConfig, SimulatedCluster
+from repro.evaluation.perplexity import held_out_perplexity
+from repro.report import format_table
+from repro.training import ParallelTrainer
+
+NUM_TOPICS = 20
+NUM_EPOCHS = 20
+WORKER_COUNTS = (1, 2, 4)
+SCALE = 0.6
+SEED = 0
+
+
+def run_parallel_training_bench():
+    corpus = load_preset("nytimes_like", scale=SCALE, rng=SEED)
+    train, heldout = corpus.split(train_fraction=0.85, rng=SEED)
+
+    # Serial reference.
+    serial = WarpLDA(train, num_topics=NUM_TOPICS, seed=SEED)
+    started = time.perf_counter()
+    serial.fit(NUM_EPOCHS)
+    serial_seconds = time.perf_counter() - started
+    serial_perplexity = held_out_perplexity(heldout, serial.phi(), serial.alpha)
+
+    rows = []
+    for workers in WORKER_COUNTS:
+        with ParallelTrainer(
+            train,
+            num_workers=workers,
+            num_topics=NUM_TOPICS,
+            seed=SEED,
+            backend="process",
+        ) as trainer:
+            started = time.perf_counter()
+            trainer.train(NUM_EPOCHS)
+            parallel_seconds = time.perf_counter() - started
+            perplexity = held_out_perplexity(heldout, trainer.phi(), trainer.alpha)
+
+        cluster = SimulatedCluster(train, ClusterConfig(num_workers=workers))
+        measured_speedup = serial_seconds / parallel_seconds
+        predicted_speedup = cluster.predicted_speedup(serial_seconds / NUM_EPOCHS)
+        rows.append(
+            {
+                "workers": workers,
+                "seconds": parallel_seconds,
+                "measured_speedup": measured_speedup,
+                "predicted_speedup": predicted_speedup,
+                "perplexity": perplexity,
+                "gap_pct": 100.0 * (perplexity - serial_perplexity) / serial_perplexity,
+            }
+        )
+
+    return {
+        "corpus": train,
+        "serial_seconds": serial_seconds,
+        "serial_perplexity": serial_perplexity,
+        "rows": rows,
+    }
+
+
+def test_parallel_training(benchmark, emit):
+    results = benchmark.pedantic(run_parallel_training_bench, rounds=1, iterations=1)
+    corpus = results["corpus"]
+    cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+
+    table = format_table(
+        [
+            {
+                "workers": row["workers"],
+                "seconds": f"{row['seconds']:.2f}",
+                "speedup": f"{row['measured_speedup']:.2f}x",
+                "modelled": f"{row['predicted_speedup']:.2f}x",
+                "perplexity": f"{row['perplexity']:.1f}",
+                "vs serial": f"{row['gap_pct']:+.2f}%",
+            }
+            for row in results["rows"]
+        ],
+    )
+    lines = [
+        "Data-parallel training (process workers, epoch-barrier count merge)",
+        f"  corpus: {corpus.num_documents} docs, {corpus.num_tokens} tokens, "
+        f"V={corpus.vocabulary_size}, K={NUM_TOPICS}, {NUM_EPOCHS} epochs",
+        f"  cpus available: {cpus}",
+        f"  serial WarpLDA: {results['serial_seconds']:.2f} s, "
+        f"held-out perplexity {results['serial_perplexity']:.1f}",
+        "",
+        table,
+    ]
+    emit("parallel_training", "\n".join(lines))
+
+    # Quality parity is hardware-independent: the parallel model must land
+    # within 2% of the serial sampler's held-out perplexity.
+    for row in results["rows"]:
+        assert abs(row["gap_pct"]) < 2.0, row
+    # Wall-clock speedup needs real cores; only assert where they exist.
+    if cpus and cpus >= 4:
+        four = next(row for row in results["rows"] if row["workers"] == 4)
+        assert four["measured_speedup"] > 1.8, four

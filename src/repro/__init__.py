@@ -30,19 +30,27 @@ Subpackages
 ``repro.serving``
     The model-serving layer: immutable snapshots, batched unseen-document
     inference and a micro-batching topic server.
+``repro.training``
+    Multiprocess data-parallel training: document sharding, epoch-barrier
+    count merging, resumable checkpoints and the ``python -m repro.train``
+    command line.
 """
 
 from repro.core.warplda import WarpLDA, WarpLDAConfig
 from repro.corpus.corpus import Corpus, Document
 from repro.corpus.vocabulary import Vocabulary
 from repro.serving import InferenceEngine, ModelSnapshot, TopicServer
+from repro.training import Checkpoint, ParallelTrainer, TrainerConfig
 
 __all__ = [
+    "Checkpoint",
     "Corpus",
     "Document",
     "InferenceEngine",
     "ModelSnapshot",
+    "ParallelTrainer",
     "TopicServer",
+    "TrainerConfig",
     "Vocabulary",
     "WarpLDA",
     "WarpLDAConfig",

@@ -40,7 +40,7 @@ Implementation notes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
@@ -49,7 +49,7 @@ from repro.evaluation.convergence import ConvergenceTracker
 from repro.evaluation.likelihood import log_joint_likelihood_from_assignments
 from repro.samplers.base import resolve_hyperparameters
 from repro.sampling.alias import AliasTable
-from repro.sampling.rng import RngLike, ensure_rng
+from repro.sampling.rng import RngLike, ensure_rng, export_rng_state, restore_rng_state
 
 __all__ = [
     "WarpLDA",
@@ -223,6 +223,11 @@ class WarpLDA:
         self._alpha_is_symmetric = bool(np.allclose(self.alpha, self.alpha[0]))
         self._alpha_alias = None if self._alpha_is_symmetric else AliasTable(self.alpha)
 
+        # Frozen counts contributed by *other* shards during a data-parallel
+        # epoch (see repro.training); None when training single-process.
+        self._external_word_topic: Optional[np.ndarray] = None
+        self._external_topic_counts: Optional[np.ndarray] = None
+
     # ------------------------------------------------------------------ #
     # Training loop
     # ------------------------------------------------------------------ #
@@ -256,6 +261,85 @@ class WarpLDA:
         self.iterations_completed += 1
 
     # ------------------------------------------------------------------ #
+    # Data-parallel shard hooks (repro.training)
+    # ------------------------------------------------------------------ #
+    def set_external_counts(
+        self, word_topic: np.ndarray, topic_counts: Optional[np.ndarray] = None
+    ) -> None:
+        """Install frozen word-topic counts contributed by other shards.
+
+        During a data-parallel epoch every worker samples its shard against
+        the cluster-wide counts frozen at the epoch barrier: the acceptance
+        rates read ``c_w^local + c_w^external`` and ``c_k^local +
+        c_k^external``, and the word proposal becomes an exact draw from
+        ``q_word(k) ∝ C_wk^global + β`` via a per-word alias table.  Freezing
+        the external contribution for a whole epoch is precisely the delayed
+        count update that makes WarpLDA's MCEM reordering legal (Sec. 4.2) —
+        only the delay grows from one phase to one epoch.
+        """
+        word_topic = np.ascontiguousarray(word_topic, dtype=np.int64)
+        expected = (self.corpus.vocabulary_size, self.num_topics)
+        if word_topic.shape != expected:
+            raise ValueError(
+                f"external word_topic must have shape {expected}, got "
+                f"{word_topic.shape}"
+            )
+        if np.any(word_topic < 0):
+            raise ValueError("external word-topic counts must be non-negative")
+        if topic_counts is None:
+            topic_counts = word_topic.sum(axis=0)
+        topic_counts = np.asarray(topic_counts, dtype=np.int64)
+        if topic_counts.shape != (self.num_topics,):
+            raise ValueError(
+                f"external topic_counts must have shape ({self.num_topics},), "
+                f"got {topic_counts.shape}"
+            )
+        self._external_word_topic = word_topic
+        self._external_topic_counts = topic_counts
+
+    def clear_external_counts(self) -> None:
+        """Return to single-process semantics (no external shard counts)."""
+        self._external_word_topic = None
+        self._external_topic_counts = None
+
+    def export_state(self) -> Dict[str, Any]:
+        """Capture everything needed to continue this run bit-exactly.
+
+        Includes the proposal buffer — the next word phase consumes the doc
+        proposals drawn by the previous document phase, so dropping them
+        would change the trajectory of a resumed run.
+        """
+        return {
+            "assignments": self.assignments.copy(),
+            "proposals": self.proposals.copy(),
+            "rng_state": export_rng_state(self.rng),
+            "iterations_completed": int(self.iterations_completed),
+        }
+
+    def import_state(self, state: Dict[str, Any]) -> None:
+        """Restore a state captured by :meth:`export_state`."""
+        assignments = np.asarray(state["assignments"], dtype=np.int64)
+        proposals = np.asarray(state["proposals"], dtype=np.int64)
+        if assignments.shape != self.assignments.shape:
+            raise ValueError(
+                f"assignments must have shape {self.assignments.shape}, got "
+                f"{assignments.shape}"
+            )
+        if proposals.shape != self.proposals.shape:
+            raise ValueError(
+                f"proposals must have shape {self.proposals.shape}, got "
+                f"{proposals.shape}"
+            )
+        for name, topics in (("assignments", assignments), ("proposals", proposals)):
+            if topics.size and (topics.min() < 0 or topics.max() >= self.num_topics):
+                raise ValueError(f"{name} contain out-of-range topics")
+        self.assignments[:] = assignments
+        self.proposals[:] = proposals
+        self.topic_counts = np.bincount(self.assignments, minlength=self.num_topics)
+        self.rng = restore_rng_state(state["rng_state"])
+        self.iterations_completed = int(state["iterations_completed"])
+
+    # ------------------------------------------------------------------ #
     # The two phases
     # ------------------------------------------------------------------ #
     def _word_phase(self) -> None:
@@ -267,8 +351,13 @@ class WarpLDA:
         beta_sum = self.beta_sum
         num_topics = self.num_topics
         rng = self.rng
-        # Delayed global counts: fixed for the duration of the phase.
+        external_word_topic = self._external_word_topic
+        # Delayed global counts: fixed for the duration of the phase.  During
+        # a data-parallel epoch the frozen contribution of the other shards is
+        # added on top of the local counts.
         stale_topic_counts = self.topic_counts.astype(np.float64)
+        if self._external_topic_counts is not None:
+            stale_topic_counts = stale_topic_counts + self._external_topic_counts
 
         word_offsets = corpus.word_offsets
         word_order = corpus.word_order
@@ -283,6 +372,8 @@ class WarpLDA:
             # c_w computed on the fly (delayed for the acceptance test).
             current = assignments[token_indices]
             word_counts = np.bincount(current, minlength=num_topics).astype(np.float64)
+            if external_word_topic is not None:
+                word_counts += external_word_topic[word]
 
             # Accept/reject the M doc proposals drawn in the previous phase.
             uniforms = rng.random((self.num_mh_steps, length))
@@ -302,7 +393,7 @@ class WarpLDA:
 
             # Fresh c_w for the proposal distribution (Alg. 2 recomputes it
             # after the chain, before building the sampler for q_word).
-            self._draw_word_proposals(token_indices, current, length, rng)
+            self._draw_word_proposals(word, token_indices, current, length, rng)
 
         self.topic_counts = np.bincount(assignments, minlength=num_topics)
 
@@ -316,6 +407,8 @@ class WarpLDA:
         num_topics = self.num_topics
         rng = self.rng
         stale_topic_counts = self.topic_counts.astype(np.float64)
+        if self._external_topic_counts is not None:
+            stale_topic_counts = stale_topic_counts + self._external_topic_counts
 
         doc_offsets = corpus.doc_offsets
 
@@ -354,22 +447,36 @@ class WarpLDA:
     # ------------------------------------------------------------------ #
     def _draw_word_proposals(
         self,
+        word: int,
         token_indices: np.ndarray,
         current: np.ndarray,
         length: int,
         rng: np.random.Generator,
     ) -> None:
         """Draw M samples per token from ``q_word(k) ∝ C_wk + β``."""
-        if self.config.word_proposal == "alias":
-            word_counts = np.bincount(current, minlength=self.num_topics)
+        if length == 0:
+            return
+        if self.config.word_proposal == "alias" or self._external_word_topic is not None:
+            word_counts = np.bincount(current, minlength=self.num_topics).astype(
+                np.float64
+            )
+            if self._external_word_topic is not None:
+                # Exact global proposal: random positioning cannot reach the
+                # other shards' tokens, so fall back to a per-word alias table
+                # over the combined counts (the Sec. 4.3 alias strategy).
+                word_counts += self._external_word_topic[word]
             table = AliasTable(word_counts + self.beta)
             for step in range(self.num_mh_steps):
                 self.proposals[step, token_indices] = table.draw_many(length, rng)
             return
 
         # Mixture of ``C_wk`` (random positioning over the word's tokens) and
-        # the uniform distribution implied by the symmetric β.
-        word_weight = length / (length + self.beta_sum)
+        # the uniform distribution implied by the symmetric β.  The smoothing
+        # mass of ``q_word(k) ∝ C_wk + β`` summed over the K topics is K·β
+        # (not β̄ = V·β, which normalises the word axis): using β̄ here would
+        # overweight the uniform component by V/K and silently mismatch the
+        # acceptance rates, which assume the proposal is exactly C_wk + β.
+        word_weight = length / (length + self.num_topics * self.beta)
         for step in range(self.num_mh_steps):
             use_counts = rng.random(length) < word_weight
             positions = rng.integers(length, size=length)
@@ -385,7 +492,16 @@ class WarpLDA:
         length: int,
         rng: np.random.Generator,
     ) -> None:
-        """Draw M samples per token from ``q_doc(k) ∝ C_dk + α_k``."""
+        """Draw M samples per token from ``q_doc(k) ∝ C_dk + α_k``.
+
+        ``length`` is always at least one here (zero-token documents are
+        skipped by the document phase), so the random-positioning draw
+        ``rng.integers(length)`` is well defined even for single-token
+        documents — the degenerate "pick a uniformly random token" case just
+        always picks the only token.
+        """
+        if length == 0:
+            return
         doc_weight = length / (length + self.alpha_sum)
         for step in range(self.num_mh_steps):
             use_counts = rng.random(length) < doc_weight

@@ -92,22 +92,33 @@ class Corpus:
         self._token_words = np.concatenate(
             [doc.word_ids for doc in self._documents]
         ).astype(np.int64)
-        self._token_docs = np.repeat(
-            np.arange(len(self._documents), dtype=np.int64), lengths
-        )
         max_word = int(self._token_words.max()) if self._token_words.size else -1
         if max_word >= vocabulary.size:
             raise ValueError(
                 f"word id {max_word} out of range for vocabulary of size "
                 f"{vocabulary.size}"
             )
+        self._init_derived()
 
+    def _init_derived(self) -> None:
+        """Compute the per-token document ids and the word-major (CSC) view.
+
+        Requires ``_vocabulary``, ``_documents``, ``_doc_offsets`` and
+        ``_token_words`` to be set; shared between ``__init__`` and the cheap
+        document-range views of :meth:`slice`.
+        """
+        self._token_docs = np.repeat(
+            np.arange(len(self._documents), dtype=np.int64),
+            np.diff(self._doc_offsets),
+        )
         # Word-major (CSC) view: a permutation of token indices sorted by word
         # id, stable so that within a word the tokens stay in document order —
         # exactly the "entries sorted by row id" layout of Sec. 5.2.
         self._word_order = np.argsort(self._token_words, kind="stable")
-        word_frequencies = np.bincount(self._token_words, minlength=vocabulary.size)
-        self._word_offsets = np.zeros(vocabulary.size + 1, dtype=np.int64)
+        word_frequencies = np.bincount(
+            self._token_words, minlength=self._vocabulary.size
+        )
+        self._word_offsets = np.zeros(self._vocabulary.size + 1, dtype=np.int64)
         np.cumsum(word_frequencies, out=self._word_offsets[1:])
         self._word_frequencies = word_frequencies.astype(np.int64)
 
@@ -215,6 +226,29 @@ class Corpus:
             raise ValueError("subset requires at least one document index")
         documents = [self._documents[i] for i in doc_indices]
         return Corpus(documents, self._vocabulary)
+
+    def slice(self, start: int, stop: int) -> "Corpus":
+        """Return a cheap view of documents ``[start, stop)``.
+
+        Unlike :meth:`subset`, the token array is shared with the parent (a
+        NumPy view, no concatenation), so slicing a corpus into contiguous
+        shards — the layout used by data-parallel training — costs O(tokens in
+        the slice) for the derived indices only.  The slice may contain only
+        empty documents (zero tokens); samplers must tolerate that.
+        """
+        if not 0 <= start < stop <= self.num_documents:
+            raise IndexError(
+                f"invalid document range [{start}, {stop}) for corpus with "
+                f"{self.num_documents} documents"
+            )
+        view = Corpus.__new__(Corpus)
+        view._vocabulary = self._vocabulary
+        view._documents = self._documents[start:stop]
+        base = self._doc_offsets[start]
+        view._doc_offsets = self._doc_offsets[start : stop + 1] - base
+        view._token_words = self._token_words[base : self._doc_offsets[stop]]
+        view._init_derived()
+        return view
 
     def split(
         self, train_fraction: float = 0.8, rng: RngLike = None

@@ -128,6 +128,33 @@ class SimulatedCluster:
             communication = 0.0
         return compute + communication
 
+    def predicted_speedup(self, single_process_seconds: float) -> float:
+        """Modelled speedup of this cluster over the single-process sampler.
+
+        ``single_process_seconds / iteration_time(...)`` — the number the
+        real data-parallel trainer (:mod:`repro.training`) can be validated
+        against; ``benchmarks/bench_parallel_training.py`` prints predicted
+        and measured side by side.
+        """
+        if single_process_seconds <= 0:
+            raise ValueError("single_process_seconds must be positive")
+        return single_process_seconds / self.iteration_time(single_process_seconds)
+
+    def prediction_error(
+        self, single_process_seconds: float, measured_parallel_seconds: float
+    ) -> float:
+        """Relative error of the modelled iteration time vs a measurement.
+
+        Positive means the model predicted a *slower* iteration than
+        measured.  This is the simulator-validation hook: a real
+        :class:`~repro.training.parallel.ParallelTrainer` run supplies the
+        measurement.
+        """
+        if measured_parallel_seconds <= 0:
+            raise ValueError("measured_parallel_seconds must be positive")
+        predicted = self.iteration_time(single_process_seconds)
+        return (predicted - measured_parallel_seconds) / measured_parallel_seconds
+
     def summary(self) -> Dict[str, float]:
         """Partitioning and communication summary for reports."""
         return {

@@ -13,7 +13,7 @@ from typing import Union
 import numpy as np
 
 from repro.corpus.corpus import Corpus
-from repro.serving.infer import em_fold_in
+from repro.serving.infer import em_fold_in, perplexity_from_theta
 
 __all__ = ["held_out_perplexity", "document_topic_inference"]
 
@@ -70,16 +70,5 @@ def held_out_perplexity(
     """
     phi = np.asarray(phi, dtype=np.float64)
     theta = document_topic_inference(corpus, phi, alpha, num_iterations)
-    log_likelihood = 0.0
-    total_tokens = 0
-    for doc_index in range(corpus.num_documents):
-        words = corpus.document_words(doc_index)
-        if words.size == 0:
-            continue
-        token_probs = theta[doc_index] @ phi[:, words]
-        token_probs = np.maximum(token_probs, 1e-300)
-        log_likelihood += float(np.log(token_probs).sum())
-        total_tokens += int(words.size)
-    if total_tokens == 0:
-        raise ValueError("corpus has no tokens")
-    return float(np.exp(-log_likelihood / total_tokens))
+    documents = [corpus.document_words(d) for d in range(corpus.num_documents)]
+    return perplexity_from_theta(documents, theta, phi)

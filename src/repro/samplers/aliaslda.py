@@ -61,6 +61,10 @@ class AliasLDASampler(LDASampler):
         self.num_mh_steps = int(num_mh_steps)
         self._word_tables: Dict[int, _StaleWordTable] = {}
 
+    def invalidate_caches(self) -> None:
+        """Drop the stale per-word alias tables (counts changed underneath)."""
+        self._word_tables.clear()
+
     # ------------------------------------------------------------------ #
     def _build_word_table(self, word: int) -> _StaleWordTable:
         """(Re)build the stale alias table for the prior part of ``word``."""

@@ -16,14 +16,14 @@ samplers uniformly.
 from __future__ import annotations
 
 import abc
-from typing import Optional, Union
+from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
 from repro.corpus.corpus import Corpus
 from repro.evaluation.convergence import ConvergenceTracker
 from repro.evaluation.likelihood import log_joint_likelihood
-from repro.sampling.rng import RngLike, ensure_rng
+from repro.sampling.rng import RngLike, ensure_rng, export_rng_state, restore_rng_state
 
 __all__ = ["TopicState", "LDASampler", "resolve_hyperparameters"]
 
@@ -132,6 +132,61 @@ class TopicState:
         self.doc_topic[doc, topic] += 1
         self.word_topic[word, topic] += 1
         self.topic_counts[topic] += 1
+
+    # ------------------------------------------------------------------ #
+    # Shard-state hooks for data-parallel training (repro.training)
+    # ------------------------------------------------------------------ #
+    def local_word_topic(self) -> np.ndarray:
+        """The ``V x K`` word-topic counts contributed by *this* corpus.
+
+        Unlike :attr:`word_topic` — which may hold imported global counts
+        during a data-parallel epoch — this is always recomputed from the
+        assignments, i.e. the shard's own contribution to the global state.
+        """
+        counts = np.zeros_like(self.word_topic)
+        np.add.at(counts, (self.corpus.token_words, self.assignments), 1)
+        return counts
+
+    def import_global_word_topic(self, word_topic: np.ndarray) -> None:
+        """Install frozen *global* word-topic counts for a data-parallel epoch.
+
+        The document-topic counts stay local (documents are disjoint across
+        shards, so they are exact); the word-topic matrix and the topic totals
+        are replaced by the cluster-wide counts so the conditional
+        distributions see every shard's tokens.  This is the AD-LDA /
+        ``ldamulticore`` pattern: sample against counts frozen at the epoch
+        barrier, then merge deltas.
+        """
+        word_topic = np.asarray(word_topic, dtype=np.int64)
+        if word_topic.shape != self.word_topic.shape:
+            raise ValueError(
+                f"word_topic must have shape {self.word_topic.shape}, got "
+                f"{word_topic.shape}"
+            )
+        self.word_topic = word_topic.copy()
+        self.topic_counts = self.word_topic.sum(axis=0)
+
+    def word_topic_delta(self, baseline: np.ndarray) -> np.ndarray:
+        """Count changes relative to ``baseline`` (what a barrier merge sums)."""
+        baseline = np.asarray(baseline, dtype=np.int64)
+        if baseline.shape != self.word_topic.shape:
+            raise ValueError(
+                f"baseline must have shape {self.word_topic.shape}, got "
+                f"{baseline.shape}"
+            )
+        return self.word_topic - baseline
+
+    def apply_word_topic_delta(self, delta: np.ndarray) -> None:
+        """Merge another shard's count delta into this state's word-topic counts."""
+        delta = np.asarray(delta, dtype=np.int64)
+        if delta.shape != self.word_topic.shape:
+            raise ValueError(
+                f"delta must have shape {self.word_topic.shape}, got {delta.shape}"
+            )
+        self.word_topic += delta
+        self.topic_counts = self.word_topic.sum(axis=0)
+        if np.any(self.word_topic < 0):
+            raise ValueError("word-topic counts became negative after delta merge")
 
     def check_consistency(self) -> bool:
         """Verify that the count matrices match the assignments exactly."""
@@ -256,6 +311,49 @@ class LDASampler(abc.ABC):
         from repro.serving.snapshot import ModelSnapshot
 
         return ModelSnapshot.from_model(self)
+
+    def invalidate_caches(self) -> None:
+        """Drop derived sampling caches (stale alias tables and the like).
+
+        Called whenever the count matrices change underneath the sampler —
+        after a data-parallel global-count import or a state restore.  The
+        base class keeps no caches; samplers that do (AliasLDA, LightLDA)
+        override this.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Mutable-state export/import (checkpointing, data-parallel shards)
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> Dict[str, Any]:
+        """Capture everything needed to continue this run bit-exactly.
+
+        The counts are not exported: they are a pure function of the
+        assignments (and, during a data-parallel epoch, of the imported
+        global counts, which the trainer re-broadcasts every epoch anyway).
+        """
+        return {
+            "assignments": self.state.assignments.copy(),
+            "rng_state": export_rng_state(self.rng),
+            "iterations_completed": int(self.iterations_completed),
+        }
+
+    def import_state(self, state: Dict[str, Any]) -> None:
+        """Restore a state captured by :meth:`export_state`."""
+        assignments = np.asarray(state["assignments"], dtype=np.int64)
+        if assignments.shape != self.state.assignments.shape:
+            raise ValueError(
+                f"assignments must have shape {self.state.assignments.shape}, "
+                f"got {assignments.shape}"
+            )
+        if assignments.size and (
+            assignments.min() < 0 or assignments.max() >= self.num_topics
+        ):
+            raise ValueError("assignments contain out-of-range topics")
+        self.state.assignments[:] = assignments
+        self.state.recompute_counts()
+        self.rng = restore_rng_state(state["rng_state"])
+        self.iterations_completed = int(state["iterations_completed"])
+        self.invalidate_caches()
 
     @property
     def assignments(self) -> np.ndarray:

@@ -63,6 +63,10 @@ class LightLDASampler(LDASampler):
         # second mixture component.
         self._alpha_alias = AliasTable(self.alpha)
 
+    def invalidate_caches(self) -> None:
+        """Drop the stale per-word proposal tables (counts changed underneath)."""
+        self._word_proposals.clear()
+
     # ------------------------------------------------------------------ #
     def _word_proposal(self, word: int) -> _StaleWordProposal:
         proposal = self._word_proposals.get(word)

@@ -46,3 +46,25 @@ def spawn_rngs(seed: RngLike, count: int) -> list[np.random.Generator]:
     else:
         sequence = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+def export_rng_state(rng: np.random.Generator) -> dict:
+    """Freeze a generator's full state into a JSON-compatible dict.
+
+    Together with :func:`restore_rng_state` this is what makes training
+    checkpoints bit-exact: a resumed run continues the exact random stream the
+    interrupted run would have produced.
+    """
+    state = rng.bit_generator.state
+    return {"bit_generator": state["bit_generator"], "state": dict(state)}
+
+
+def restore_rng_state(state: dict) -> np.random.Generator:
+    """Rebuild a generator from :func:`export_rng_state` output."""
+    name = state.get("bit_generator")
+    bit_generator_cls = getattr(np.random, str(name), None)
+    if bit_generator_cls is None or not isinstance(bit_generator_cls, type):
+        raise ValueError(f"unknown bit generator {name!r}")
+    bit_generator = bit_generator_cls()
+    bit_generator.state = state["state"]
+    return np.random.Generator(bit_generator)

@@ -35,7 +35,7 @@ from repro.sampling.alias import AliasTable
 from repro.sampling.rng import RngLike, ensure_rng
 from repro.serving.snapshot import ModelSnapshot
 
-__all__ = ["InferenceEngine", "em_fold_in", "mh_fold_in"]
+__all__ = ["InferenceEngine", "em_fold_in", "mh_fold_in", "perplexity_from_theta"]
 
 #: Cap on ``K * batch * padded_length`` float64 elements materialised at once
 #: by the EM kernel.  Kept small (~1 MB) so the per-chunk working set stays
@@ -46,6 +46,42 @@ _MAX_EM_ELEMENTS = 1 << 17
 
 def _prior_mean(alpha: np.ndarray) -> np.ndarray:
     return alpha / alpha.sum()
+
+
+def perplexity_from_theta(
+    documents: Sequence[np.ndarray],
+    theta: np.ndarray,
+    phi: np.ndarray,
+) -> float:
+    """Perplexity of word-id documents under folded-in θ rows and fixed Φ.
+
+    The single scoring path shared by the serving layer and
+    :func:`repro.evaluation.perplexity.held_out_perplexity`.  Empty documents
+    (zero-token bags — empty to begin with, or emptied by OOV dropping) are
+    excluded from the token denominator: they carry no evidence, so they must
+    neither crash the normalisation nor dilute the average.  Token
+    probabilities are clamped at 1e-300 so a zero-probability token yields a
+    huge-but-finite perplexity rather than ``inf``/NaN.
+
+    Raises
+    ------
+    ValueError
+        If no document contributes any token (there is nothing to score).
+    """
+    log_likelihood = 0.0
+    total_tokens = 0
+    for row, words in enumerate(documents):
+        if words.size == 0:
+            continue
+        token_probs = theta[row] @ phi[:, words]
+        token_probs = np.maximum(token_probs, 1e-300)
+        log_likelihood += float(np.log(token_probs).sum())
+        total_tokens += int(words.size)
+    if total_tokens == 0:
+        raise ValueError(
+            "no tokens to score (every document is empty or out-of-vocabulary)"
+        )
+    return float(np.exp(-log_likelihood / total_tokens))
 
 
 def _as_id_arrays(documents: Sequence[Union[np.ndarray, Sequence[int]]]) -> List[np.ndarray]:
@@ -343,6 +379,39 @@ class InferenceEngine:
         """Infer θ for raw token documents; OOV tokens are dropped."""
         encoded, _ = self.encode(token_documents)
         return self.infer_ids(encoded)
+
+    def held_out_perplexity(
+        self, documents: Sequence[Union[np.ndarray, Sequence[int], Sequence[str]]]
+    ) -> float:
+        """Held-out perplexity of ``documents`` under the frozen snapshot.
+
+        Documents may be raw token sequences (OOV tokens are dropped via the
+        snapshot vocabulary) or word-id arrays.  Documents that are empty —
+        or become empty after OOV dropping — receive the prior-proportional
+        θ and are *excluded from the token denominator*, so an all-OOV
+        request can never drag the average through a zero-token bag.
+
+        Raises
+        ------
+        ValueError
+            If no document contributes any in-vocabulary token (there is
+            nothing to score).
+        """
+        encoded: List[np.ndarray] = []
+        for document in documents:
+            if isinstance(document, np.ndarray):
+                encoded.append(np.asarray(document, dtype=np.int64))
+                continue
+            items = list(document)
+            if any(isinstance(item, str) for item in items):
+                encoded.append(
+                    self.snapshot.vocabulary.encode(items, on_oov="drop")
+                )
+            else:
+                encoded.append(np.asarray(items, dtype=np.int64))
+
+        theta = self.infer_ids(encoded)
+        return perplexity_from_theta(encoded, theta, self.snapshot.phi)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

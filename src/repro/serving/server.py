@@ -41,11 +41,19 @@ DocumentLike = Union[np.ndarray, Sequence[int], Sequence[str]]
 def bow_key(word_ids: np.ndarray) -> BowKey:
     """The cache key of a document: its bag of words as sorted pairs.
 
-    Exact (no hashing collisions) and order-insensitive, matching the
-    exchangeability of fold-in inference.
+    Canonicalisation contract (relied on by the server's LRU cache):
+
+    * **order-insensitive** — any permutation of the same tokens maps to the
+      same key, matching the exchangeability of fold-in inference (token
+      order never enters the math);
+    * **multiplicity-exact** — repeated tokens are keyed by their counts, so
+      ``[a, a, b]`` and ``[a, b, b]`` can never alias;
+    * **collision-free** — keys are the exact sorted ``(word_id, count)``
+      pairs as plain ints, not hashes, so two distinct bags always produce
+      distinct keys regardless of the input array's dtype.
     """
-    unique, counts = np.unique(word_ids, return_counts=True)
-    return tuple(zip(unique.tolist(), counts.tolist()))
+    unique, counts = np.unique(np.asarray(word_ids, dtype=np.int64), return_counts=True)
+    return tuple((int(word), int(count)) for word, count in zip(unique, counts))
 
 
 class LRUCache:

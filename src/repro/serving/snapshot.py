@@ -174,6 +174,22 @@ class ModelSnapshot:
             metadata=metadata,
         )
 
+    def with_metadata(self, **extra: Any) -> "ModelSnapshot":
+        """Return a copy of this snapshot with extra provenance merged in.
+
+        Snapshots are immutable, so provenance added after export — which
+        checkpoint a resumed run came from, which deployment served it —
+        always produces a new snapshot instead of mutating a served one.
+        """
+        merged = {**self._metadata, **extra}
+        return ModelSnapshot(
+            phi=self._phi,
+            alpha=self._alpha,
+            beta=self._beta,
+            vocabulary=self._vocabulary,
+            metadata=merged,
+        )
+
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #

@@ -1,0 +1,16 @@
+"""``python -m repro.train`` — multiprocess data-parallel LDA training.
+
+Thin executable wrapper around :mod:`repro.training.cli`; see that module
+(or ``python -m repro.train --help``) for the full interface.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.training.cli import build_corpus, build_parser, main
+
+__all__ = ["build_corpus", "build_parser", "main"]
+
+if __name__ == "__main__":
+    sys.exit(main())

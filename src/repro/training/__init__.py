@@ -1,0 +1,26 @@
+"""Real multiprocess data-parallel training (Sec. 5 executed, not simulated).
+
+PRs before this one reproduced the paper's distributed design as a cost-model
+simulation (:mod:`repro.distributed.cluster`).  This package runs it:
+
+* :class:`~repro.training.parallel.ParallelTrainer` shards a corpus by
+  document across N ``multiprocessing`` workers, samples every shard locally
+  against counts frozen at the epoch barrier, and merges the word-topic count
+  deltas — the synchronous data-parallel recipe of distributed online LDA
+  (Hoffman et al., 2010; gensim's ``ldamulticore``) that WarpLDA's delayed
+  count updates make principled;
+* :class:`~repro.training.checkpoint.Checkpoint` persists a mid-training
+  state (serving snapshot + per-worker sampler state + RNG streams) so a run
+  can be resumed bit-exactly;
+* :mod:`repro.training.cli` backs the ``python -m repro.train`` command line.
+"""
+
+from repro.training.checkpoint import Checkpoint
+from repro.training.parallel import SAMPLER_REGISTRY, ParallelTrainer, TrainerConfig
+
+__all__ = [
+    "Checkpoint",
+    "ParallelTrainer",
+    "SAMPLER_REGISTRY",
+    "TrainerConfig",
+]

@@ -1,0 +1,243 @@
+"""Command-line driver for data-parallel training (``python -m repro.train``).
+
+Examples
+--------
+Train WarpLDA on a synthetic corpus with 2 workers, checkpointing every
+5 epochs::
+
+    python -m repro.train --synthetic --docs 200 --vocab-size 500 \
+        --sampler warplda --topics 20 --workers 2 --epochs 20 \
+        --checkpoint-dir ckpt --checkpoint-every 5 --seed 0
+
+Resume the same run from its last checkpoint and export a serving snapshot::
+
+    python -m repro.train --synthetic --docs 200 --vocab-size 500 \
+        --workers 2 --epochs 10 --checkpoint-dir ckpt --resume \
+        --snapshot-out model.npz
+
+Train on a real UCI bag-of-words corpus::
+
+    python -m repro.train --corpus docword.kos.txt.gz --vocab-file vocab.kos.txt \
+        --sampler warplda --topics 50 --workers 4 --epochs 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.datasets import DATASET_PRESETS, load_preset
+from repro.corpus.synthetic import SyntheticCorpusSpec, generate_lda_corpus
+from repro.corpus.uci import read_uci_bow
+from repro.training.parallel import (
+    BACKENDS,
+    SAMPLER_REGISTRY,
+    ParallelTrainer,
+    TrainerConfig,
+)
+
+__all__ = ["build_parser", "build_corpus", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.train`` argument parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.train",
+        description="Multiprocess data-parallel LDA training.",
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
+    source = parser.add_argument_group("corpus source (choose one)")
+    source.add_argument("--corpus", type=Path, help="UCI docword file (.txt or .gz)")
+    source.add_argument("--vocab-file", type=Path, help="UCI vocab file for --corpus")
+    source.add_argument(
+        "--preset",
+        choices=sorted(DATASET_PRESETS),
+        help="synthetic preset calibrated to the paper's Table 3",
+    )
+    source.add_argument("--scale", type=float, default=0.1, help="preset scale factor")
+    source.add_argument(
+        "--synthetic", action="store_true", help="ad-hoc LDA-generative corpus"
+    )
+    source.add_argument("--docs", type=int, default=200, help="synthetic documents")
+    source.add_argument("--vocab-size", type=int, default=500, help="synthetic vocabulary")
+    source.add_argument(
+        "--doc-length", type=int, default=100, help="synthetic mean document length"
+    )
+    source.add_argument(
+        "--corpus-seed", type=int, default=0, help="seed of the synthetic generator"
+    )
+
+    model = parser.add_argument_group("model")
+    model.add_argument(
+        "--sampler", choices=sorted(SAMPLER_REGISTRY), default="warplda"
+    )
+    model.add_argument("--topics", type=int, default=20, help="number of topics K")
+    model.add_argument("--alpha", type=float, default=None, help="doc Dirichlet (50/K)")
+    model.add_argument("--beta", type=float, default=0.01, help="word Dirichlet")
+    model.add_argument("--mh-steps", type=int, default=2, help="MH proposals per token")
+
+    run = parser.add_argument_group("run")
+    run.add_argument("--workers", type=int, default=2, help="worker processes")
+    run.add_argument("--backend", choices=BACKENDS, default="process")
+    run.add_argument("--epochs", type=int, default=10, help="merge barriers to run")
+    run.add_argument(
+        "--iters-per-epoch", type=int, default=1, help="sweeps between barriers"
+    )
+    run.add_argument("--seed", type=int, default=None, help="master seed")
+    run.add_argument(
+        "--eval-every", type=int, default=1, help="log-likelihood print stride"
+    )
+
+    ckpt = parser.add_argument_group("checkpointing")
+    ckpt.add_argument("--checkpoint-dir", type=Path, help="checkpoint directory")
+    ckpt.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="epochs between checkpoints (0 = final only)",
+    )
+    ckpt.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint-dir instead of starting fresh",
+    )
+    ckpt.add_argument(
+        "--snapshot-out", type=Path, help="write the final serving snapshot here"
+    )
+    return parser
+
+
+def build_corpus(args: argparse.Namespace) -> Corpus:
+    """Load or generate the corpus selected by the parsed arguments."""
+    chosen = sum(
+        1 for flag in (args.corpus is not None, args.preset is not None, args.synthetic)
+        if flag
+    )
+    if chosen != 1:
+        raise SystemExit(
+            "choose exactly one corpus source: --corpus, --preset or --synthetic"
+        )
+    if args.corpus is not None:
+        return read_uci_bow(args.corpus, vocab_path=args.vocab_file)
+    if args.preset is not None:
+        return load_preset(args.preset, scale=args.scale, rng=args.corpus_seed)
+    spec = SyntheticCorpusSpec(
+        num_documents=args.docs,
+        vocabulary_size=args.vocab_size,
+        mean_document_length=args.doc_length,
+    )
+    return generate_lda_corpus(spec, rng=args.corpus_seed)
+
+
+#: Flags the resume path ignores (the checkpoint's own configuration wins),
+#: as ``(argparse dest, checkpoint-config attribute)`` pairs.
+_RESUME_IGNORED_FLAGS = (
+    ("sampler", "sampler"),
+    ("topics", "num_topics"),
+    ("alpha", "alpha"),
+    ("beta", "beta"),
+    ("mh_steps", "num_mh_steps"),
+    ("iters_per_epoch", "iterations_per_epoch"),
+)
+
+
+def _warn_ignored_resume_flags(
+    parser: argparse.ArgumentParser, args: argparse.Namespace, trainer: ParallelTrainer
+) -> None:
+    """Warn when a resume run passes model flags the checkpoint overrides."""
+    for dest, attr in _RESUME_IGNORED_FLAGS:
+        requested = getattr(args, dest)
+        effective = getattr(trainer.config, attr)
+        if requested != parser.get_default(dest) and requested != effective:
+            print(
+                f"warning: --{dest.replace('_', '-')} {requested} ignored on "
+                f"resume; the checkpoint was trained with {effective}"
+            )
+    if args.workers != parser.get_default("workers") and args.workers != trainer.num_workers:
+        print(
+            f"warning: --workers {args.workers} ignored on resume; the "
+            f"checkpoint uses {trainer.num_workers} workers"
+        )
+    if args.seed is not None:
+        print(
+            "warning: --seed ignored on resume; the checkpoint continues its "
+            "saved RNG streams"
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.resume and args.checkpoint_dir is None:
+        raise SystemExit("--resume requires --checkpoint-dir")
+
+    corpus = build_corpus(args)
+    print(
+        f"corpus: {corpus.num_documents} documents, {corpus.num_tokens} tokens, "
+        f"vocabulary {corpus.vocabulary_size}"
+    )
+
+    if args.resume:
+        trainer = ParallelTrainer.resume(
+            args.checkpoint_dir, corpus, backend=args.backend
+        )
+        print(
+            f"resumed {trainer.config.sampler} from {args.checkpoint_dir} at "
+            f"epoch {trainer.epochs_completed}"
+        )
+        _warn_ignored_resume_flags(parser, args, trainer)
+    else:
+        config = TrainerConfig(
+            sampler=args.sampler,
+            num_topics=args.topics,
+            alpha=args.alpha,
+            beta=args.beta,
+            num_mh_steps=args.mh_steps,
+            iterations_per_epoch=args.iters_per_epoch,
+        )
+        trainer = ParallelTrainer(
+            corpus,
+            num_workers=args.workers,
+            config=config,
+            seed=args.seed,
+            backend=args.backend,
+        )
+        print(
+            f"training {config.sampler} (K={config.num_topics}) on "
+            f"{trainer.num_workers} {args.backend} workers"
+        )
+
+    try:
+        started = time.perf_counter()
+
+        def report_progress(t: ParallelTrainer) -> None:
+            if args.eval_every and t.epochs_completed % args.eval_every == 0:
+                print(
+                    f"epoch {t.epochs_completed:4d}  "
+                    f"log_likelihood {t.log_likelihood():.1f}  "
+                    f"elapsed {time.perf_counter() - started:.2f}s"
+                )
+
+        trainer.train(
+            args.epochs,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            on_epoch=report_progress,
+        )
+        if args.checkpoint_dir is not None and args.epochs > 0:
+            print(f"checkpoint written to {args.checkpoint_dir}")
+        if args.snapshot_out is not None:
+            written = trainer.export_snapshot().save(args.snapshot_out)
+            print(f"serving snapshot written to {written}")
+    finally:
+        trainer.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro.train
+    sys.exit(main())

@@ -1,0 +1,642 @@
+"""Data-parallel LDA training across ``multiprocessing`` workers.
+
+The execution model is the synchronous variant of the paper's Sec. 5 design,
+specialised to document sharding:
+
+1. the corpus is cut into ``num_workers`` contiguous document ranges with
+   roughly equal token counts (:func:`repro.distributed.partition.contiguous_shards`),
+   each a cheap :meth:`~repro.corpus.corpus.Corpus.slice` view;
+2. every worker owns one shard and a sampler seeded from its own
+   :func:`~repro.sampling.rng.spawn_rngs` stream;
+3. each **epoch**, the master broadcasts the global word-topic counts; every
+   worker samples its shard against those counts *frozen* (its own documents'
+   counts stay live and exact — documents are disjoint across shards) and
+   sends back its shard's count contribution; the master merges contributions
+   at the barrier into the next global state.
+
+For WarpLDA the frozen-counts epoch is exactly the paper's delayed count
+update with the delay stretched from one phase to one epoch, so the parallel
+update has the same MCEM justification as the serial sampler.  For the
+collapsed-Gibbs baselines it is the standard AD-LDA approximation.
+
+Workers are long-lived processes connected by pipes; only count matrices
+(V x K int64) cross the boundary per epoch, never the corpus.  A fully
+deterministic ``backend="inline"`` runs the same protocol in-process — the
+two backends produce bit-identical models for the same seed, which the test
+suite checks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.warplda import WarpLDA
+from repro.corpus.corpus import Corpus
+from repro.distributed.partition import contiguous_shards
+from repro.evaluation.convergence import ConvergenceTracker
+from repro.evaluation.likelihood import log_joint_likelihood_from_assignments
+from repro.samplers.aliaslda import AliasLDASampler
+from repro.samplers.base import LDASampler, resolve_hyperparameters
+from repro.samplers.cgs import CollapsedGibbsSampler
+from repro.samplers.fpluslda import FPlusLDASampler
+from repro.samplers.lightlda import LightLDASampler
+from repro.samplers.sparselda import SparseLDASampler
+from repro.sampling.rng import RngLike, spawn_rngs
+
+__all__ = ["ParallelTrainer", "TrainerConfig", "ShardRunner", "SAMPLER_REGISTRY"]
+
+#: Samplers the trainer can shard.  Keys are the CLI spellings.
+SAMPLER_REGISTRY = {
+    "warplda": WarpLDA,
+    "cgs": CollapsedGibbsSampler,
+    "sparselda": SparseLDASampler,
+    "aliaslda": AliasLDASampler,
+    "fpluslda": FPlusLDASampler,
+    "lightlda": LightLDASampler,
+}
+
+BACKENDS = ("process", "inline")
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Sampler configuration shared by every shard.
+
+    Attributes
+    ----------
+    sampler:
+        Key into :data:`SAMPLER_REGISTRY` (``"warplda"``, ``"cgs"``, ...).
+    num_topics:
+        Number of topics ``K``.
+    alpha:
+        Symmetric document Dirichlet parameter; ``None`` resolves to 50/K.
+    beta:
+        Symmetric word Dirichlet parameter.
+    num_mh_steps:
+        Proposals per token per phase (WarpLDA/LightLDA only).
+    iterations_per_epoch:
+        Full sweeps every worker runs between two merge barriers.  1 keeps
+        the external counts at most one iteration stale (the serial sampler's
+        own delay); larger values trade staleness for fewer barriers.
+    """
+
+    sampler: str = "warplda"
+    num_topics: int = 10
+    alpha: Optional[float] = None
+    beta: float = 0.01
+    num_mh_steps: int = 2
+    iterations_per_epoch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sampler not in SAMPLER_REGISTRY:
+            raise ValueError(
+                f"unknown sampler {self.sampler!r}; choose from "
+                f"{sorted(SAMPLER_REGISTRY)}"
+            )
+        if self.num_topics <= 0:
+            raise ValueError(f"num_topics must be positive, got {self.num_topics}")
+        if self.alpha is not None and self.alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {self.alpha}")
+        if self.beta <= 0:
+            raise ValueError(f"beta must be positive, got {self.beta}")
+        if self.num_mh_steps <= 0:
+            raise ValueError(f"num_mh_steps must be positive, got {self.num_mh_steps}")
+        if self.iterations_per_epoch <= 0:
+            raise ValueError(
+                f"iterations_per_epoch must be positive, got {self.iterations_per_epoch}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (checkpoint sidecars)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TrainerConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+class ShardRunner:
+    """One worker's sampler over one document shard.
+
+    The same object runs inside a worker process (``backend="process"``) or
+    directly in the master (``backend="inline"``); the trainer only speaks
+    the four-verb protocol below, so the backends are interchangeable.
+    """
+
+    def __init__(self, shard: Corpus, config: TrainerConfig, rng: np.random.Generator):
+        self.config = config
+        sampler_cls = SAMPLER_REGISTRY[config.sampler]
+        if sampler_cls is WarpLDA:
+            self.sampler: Any = WarpLDA(
+                shard,
+                num_topics=config.num_topics,
+                num_mh_steps=config.num_mh_steps,
+                alpha=config.alpha,
+                beta=config.beta,
+                seed=rng,
+            )
+        elif sampler_cls is LightLDASampler:
+            self.sampler = sampler_cls(
+                shard,
+                config.num_topics,
+                alpha=config.alpha,
+                beta=config.beta,
+                seed=rng,
+                num_mh_steps=config.num_mh_steps,
+            )
+        else:
+            self.sampler = sampler_cls(
+                shard,
+                config.num_topics,
+                alpha=config.alpha,
+                beta=config.beta,
+                seed=rng,
+            )
+        self._is_warp = isinstance(self.sampler, WarpLDA)
+        # The shard's contribution only changes while sampling, so it is
+        # computed once per barrier and reused for the next epoch's external
+        # counts instead of re-running the O(tokens) bincount (V x K can be
+        # large on real corpora).
+        self._contribution = self._compute_contribution()
+
+    # ------------------------------------------------------------------ #
+    def _compute_contribution(self) -> np.ndarray:
+        if self._is_warp:
+            return self.sampler.word_topic_counts()
+        return self.sampler.state.local_word_topic()
+
+    def local_word_topic(self) -> np.ndarray:
+        """This shard's own ``V x K`` word-topic count contribution."""
+        return self._contribution
+
+    def run_epoch(self, global_word_topic: np.ndarray) -> np.ndarray:
+        """One barrier-to-barrier step: sample against frozen global counts.
+
+        Returns the shard's *new* local contribution; the master's merge is
+        ``global' = Σ_shards contribution`` which equals applying every
+        shard's delta to the old global state.
+        """
+        if self._is_warp:
+            external = global_word_topic - self._contribution
+            if external.any():
+                self.sampler.set_external_counts(external)
+            try:
+                self.sampler.fit(self.config.iterations_per_epoch)
+            finally:
+                # No-mass external counts (single worker, or this shard owns
+                # every token) are never installed: that keeps the O(1)
+                # mixture word proposal instead of forcing per-word alias
+                # tables, and the acceptance rates are identical either way.
+                self.sampler.clear_external_counts()
+        else:
+            self.sampler.state.import_global_word_topic(global_word_topic)
+            # Stale proposal caches (AliasLDA, LightLDA) reference the counts
+            # just replaced; dropping them here also makes every epoch start
+            # from a deterministic cache state, which checkpoint resume
+            # (always at an epoch boundary) relies on for bit-exactness.
+            self.sampler.invalidate_caches()
+            self.sampler.fit(self.config.iterations_per_epoch)
+        self._contribution = self._compute_contribution()
+        return self._contribution
+
+    def export_state(self) -> Dict[str, Any]:
+        """The sampler's resumable state (see the samplers' ``export_state``)."""
+        return self.sampler.export_state()
+
+    def import_state(self, state: Dict[str, Any]) -> None:
+        """Restore a state captured by :meth:`export_state`."""
+        self.sampler.import_state(state)
+        self._contribution = self._compute_contribution()
+
+    def assignments(self) -> np.ndarray:
+        """Per-token topic assignments of this shard (corpus token order)."""
+        return np.asarray(self.sampler.assignments).copy()
+
+
+def _worker_main(conn, shard: Corpus, config: TrainerConfig, rng) -> None:
+    """Entry point of a worker process: serve the shard protocol over a pipe."""
+    try:
+        runner = ShardRunner(shard, config, rng)
+        conn.send(("ready", runner.local_word_topic()))
+    except Exception:  # noqa: BLE001 - relayed to the master verbatim
+        conn.send(("error", traceback.format_exc()))
+        conn.close()
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        command, payload = message
+        try:
+            if command == "epoch":
+                conn.send(("counts", runner.run_epoch(payload)))
+            elif command == "export":
+                conn.send(("state", runner.export_state()))
+            elif command == "import":
+                runner.import_state(payload)
+                conn.send(("ok", None))
+            elif command == "assignments":
+                conn.send(("assignments", runner.assignments()))
+            elif command == "stop":
+                conn.send(("ok", None))
+                break
+            else:
+                conn.send(("error", f"unknown command {command!r}"))
+        except Exception:  # noqa: BLE001 - relayed to the master verbatim
+            conn.send(("error", traceback.format_exc()))
+    conn.close()
+
+
+class _ProcessWorker:
+    """A shard runner living in its own OS process, spoken to over a pipe."""
+
+    def __init__(self, context, shard: Corpus, config: TrainerConfig, rng) -> None:
+        self._conn, child_conn = context.Pipe(duplex=True)
+        self._process = context.Process(
+            target=_worker_main,
+            args=(child_conn, shard, config, rng),
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+
+    def post(self, command: str, payload: Any = None) -> None:
+        self._conn.send((command, payload))
+
+    def wait(self) -> Any:
+        try:
+            kind, payload = self._conn.recv()
+        except EOFError as exc:
+            raise RuntimeError("training worker exited unexpectedly") from exc
+        if kind == "error":
+            raise RuntimeError(f"training worker failed:\n{payload}")
+        return payload
+
+    def close(self) -> None:
+        try:
+            if self._process.is_alive():
+                self.post("stop")
+                self.wait()
+        except (BrokenPipeError, OSError, RuntimeError):
+            pass
+        finally:
+            self._process.join(timeout=5)
+            if self._process.is_alive():  # pragma: no cover - defensive
+                self._process.terminate()
+                self._process.join(timeout=5)
+            self._conn.close()
+
+
+class _InlineWorker:
+    """The same protocol executed synchronously in the master process."""
+
+    def __init__(self, shard: Corpus, config: TrainerConfig, rng) -> None:
+        self._runner = ShardRunner(shard, config, rng)
+        self._pending: Any = self._runner.local_word_topic()
+
+    def post(self, command: str, payload: Any = None) -> None:
+        if command == "epoch":
+            self._pending = self._runner.run_epoch(payload)
+        elif command == "export":
+            self._pending = self._runner.export_state()
+        elif command == "import":
+            self._runner.import_state(payload)
+            self._pending = None
+        elif command == "assignments":
+            self._pending = self._runner.assignments()
+        elif command == "stop":
+            self._pending = None
+        else:
+            raise ValueError(f"unknown command {command!r}")
+
+    def wait(self) -> Any:
+        pending, self._pending = self._pending, None
+        return pending
+
+    def close(self) -> None:
+        self._runner = None
+
+
+class ParallelTrainer:
+    """Synchronous data-parallel trainer over document shards.
+
+    Parameters
+    ----------
+    corpus:
+        The full training corpus; workers receive contiguous document-range
+        views of it.
+    num_workers:
+        Number of shards / worker processes.
+    config:
+        A :class:`TrainerConfig`; overrides the keyword arguments below.
+    seed:
+        Master seed; per-worker streams are derived with
+        :func:`~repro.sampling.rng.spawn_rngs`, so a single seed makes the
+        whole run — including checkpoints — bit-reproducible.
+    backend:
+        ``"process"`` (real ``multiprocessing`` workers, the default) or
+        ``"inline"`` (same protocol, master process only — for tests,
+        debugging and single-core machines).
+    sampler, num_topics, alpha, beta, num_mh_steps, iterations_per_epoch:
+        Forwarded to :class:`TrainerConfig` when ``config`` is omitted.
+
+    Examples
+    --------
+    >>> from repro.corpus import load_preset
+    >>> from repro.training import ParallelTrainer
+    >>> corpus = load_preset("nytimes_like", scale=0.05, rng=0)
+    >>> with ParallelTrainer(corpus, num_workers=2, num_topics=10, seed=0,
+    ...                      backend="inline") as trainer:
+    ...     phi = trainer.train(3).phi()
+    >>> phi.shape[0]
+    10
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        num_workers: int = 2,
+        config: Optional[TrainerConfig] = None,
+        seed: RngLike = None,
+        backend: str = "process",
+        **config_kwargs: Any,
+    ):
+        if config is None:
+            config = TrainerConfig(**config_kwargs)
+        elif config_kwargs:
+            raise ValueError("pass either config or keyword arguments, not both")
+        if num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        self.corpus = corpus
+        self.config = config
+        self.num_workers = int(num_workers)
+        self.backend = backend
+        self.alpha, self.alpha_sum, self.beta, self.beta_sum = resolve_hyperparameters(
+            config.num_topics, config.alpha, config.beta, corpus.vocabulary_size
+        )
+        self.num_topics = config.num_topics
+
+        self.boundaries = contiguous_shards(corpus.document_lengths(), num_workers)
+        shards = [
+            corpus.slice(int(self.boundaries[i]), int(self.boundaries[i + 1]))
+            for i in range(num_workers)
+        ]
+        rngs = spawn_rngs(seed, num_workers)
+
+        self._workers: List[Any]
+        if backend == "inline":
+            self._workers = [
+                _InlineWorker(shard, config, rng) for shard, rng in zip(shards, rngs)
+            ]
+        else:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+            context = multiprocessing.get_context(method)
+            self._workers = [
+                _ProcessWorker(context, shard, config, rng)
+                for shard, rng in zip(shards, rngs)
+            ]
+        # Barrier 0: collect the initial contributions into the global state.
+        # A worker whose sampler fails to build reports here; reap the
+        # surviving workers before re-raising so a failed construction never
+        # leaks live processes.
+        self._closed = False
+        try:
+            contributions = [worker.wait() for worker in self._workers]
+        except BaseException:
+            self.close()
+            raise
+        self.global_word_topic = np.sum(contributions, axis=0, dtype=np.int64)
+        self.epochs_completed = 0
+        #: Free-form resume provenance, merged into exported snapshot metadata
+        #: (populated by Checkpoint.restore).
+        self.provenance: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def run_epoch(self) -> None:
+        """One synchronous epoch: broadcast, sample shards, merge at the barrier."""
+        self._check_open()
+        for worker in self._workers:
+            worker.post("epoch", self.global_word_topic)
+        contributions = [worker.wait() for worker in self._workers]
+        self.global_word_topic = np.sum(contributions, axis=0, dtype=np.int64)
+        self.epochs_completed += 1
+
+    def train(
+        self,
+        num_epochs: int,
+        tracker: Optional[ConvergenceTracker] = None,
+        evaluate_every: int = 1,
+        checkpoint_dir: Optional[Any] = None,
+        checkpoint_every: int = 0,
+        on_epoch: Optional[Callable[["ParallelTrainer"], None]] = None,
+    ) -> "ParallelTrainer":
+        """Run ``num_epochs`` epochs, optionally tracking and checkpointing.
+
+        Parameters
+        ----------
+        num_epochs:
+            Number of merge barriers to run.
+        tracker:
+            Optional convergence tracker; the *global* log joint likelihood is
+            recorded every ``evaluate_every`` epochs.
+        evaluate_every:
+            Evaluation stride.
+        checkpoint_dir:
+            If given, a resumable checkpoint is written there every
+            ``checkpoint_every`` epochs and after the final epoch.
+        checkpoint_every:
+            Checkpoint stride; ``0`` means only after the final epoch.
+        on_epoch:
+            Optional callback invoked with the trainer after every merged
+            epoch (before any checkpoint write) — progress printing for the
+            CLI, metric export, early-stopping hooks.
+        """
+        if num_epochs < 0:
+            raise ValueError(f"num_epochs must be non-negative, got {num_epochs}")
+        if evaluate_every <= 0:
+            raise ValueError(f"evaluate_every must be positive, got {evaluate_every}")
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be non-negative, got {checkpoint_every}"
+            )
+        if tracker is not None:
+            tracker.start()
+        for epoch in range(num_epochs):
+            self.run_epoch()
+            if tracker is not None and self.epochs_completed % evaluate_every == 0:
+                iterations = self.epochs_completed * self.config.iterations_per_epoch
+                tracker.record(
+                    iteration=iterations,
+                    log_likelihood=self.log_likelihood(),
+                    tokens_processed=iterations * self.corpus.num_tokens,
+                )
+            if on_epoch is not None:
+                on_epoch(self)
+            due = checkpoint_every and (epoch + 1) % checkpoint_every == 0
+            if checkpoint_dir is not None and (due or epoch == num_epochs - 1):
+                self.save_checkpoint(checkpoint_dir)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Gathered model access (mirrors the single-process samplers)
+    # ------------------------------------------------------------------ #
+    def assignments(self) -> np.ndarray:
+        """Per-token topic assignments, gathered in corpus token order."""
+        self._check_open()
+        for worker in self._workers:
+            worker.post("assignments")
+        return np.concatenate([worker.wait() for worker in self._workers])
+
+    def export_worker_states(self) -> List[Dict[str, Any]]:
+        """Every worker's resumable sampler state, in shard order."""
+        self._check_open()
+        for worker in self._workers:
+            worker.post("export")
+        return [worker.wait() for worker in self._workers]
+
+    def import_worker_states(self, states: Sequence[Dict[str, Any]]) -> None:
+        """Restore worker states (shard order) and re-merge the global counts."""
+        self._check_open()
+        if len(states) != self.num_workers:
+            raise ValueError(
+                f"expected {self.num_workers} worker states, got {len(states)}"
+            )
+        for worker, state in zip(self._workers, states):
+            worker.post("import", state)
+        for worker in self._workers:
+            worker.wait()
+        # The imported assignments define the contributions; re-merge.
+        self.global_word_topic = self._merge_contributions()
+
+    def _merge_contributions(self) -> np.ndarray:
+        assignments = self.assignments()
+        counts = np.zeros(
+            (self.corpus.vocabulary_size, self.num_topics), dtype=np.int64
+        )
+        np.add.at(counts, (self.corpus.token_words, assignments), 1)
+        return counts
+
+    def word_topic_counts(self) -> np.ndarray:
+        """The merged global ``V x K`` word-topic counts (a copy)."""
+        return self.global_word_topic.copy()
+
+    def doc_topic_counts(self) -> np.ndarray:
+        """The global ``D x K`` document-topic counts (gathered)."""
+        counts = np.zeros((self.corpus.num_documents, self.num_topics), dtype=np.int64)
+        np.add.at(counts, (self.corpus.token_documents, self.assignments()), 1)
+        return counts
+
+    def phi(self) -> np.ndarray:
+        """Topic-word distributions Φ of the merged global state (K x V)."""
+        counts = self.global_word_topic.T.astype(np.float64) + self.beta
+        return counts / counts.sum(axis=1, keepdims=True)
+
+    def theta(self) -> np.ndarray:
+        """Document-topic proportions Θ of the gathered global state."""
+        counts = self.doc_topic_counts().astype(np.float64) + self.alpha
+        return counts / counts.sum(axis=1, keepdims=True)
+
+    def log_likelihood(self) -> float:
+        """Global log joint likelihood ``log p(W, Z | α, β)``."""
+        return log_joint_likelihood_from_assignments(
+            self.corpus.token_documents,
+            self.corpus.token_words,
+            self.assignments(),
+            self.corpus.num_documents,
+            self.corpus.vocabulary_size,
+            self.num_topics,
+            self.alpha,
+            self.beta,
+        )
+
+    def export_snapshot(self, extra_metadata: Optional[Dict[str, Any]] = None):
+        """Freeze the merged model into a serving snapshot."""
+        from repro.serving.snapshot import ModelSnapshot
+
+        metadata = {
+            "sampler": f"Parallel[{self.config.sampler}]",
+            "iterations": self.epochs_completed * self.config.iterations_per_epoch,
+            "epochs": self.epochs_completed,
+            "num_workers": self.num_workers,
+            "num_documents": int(self.corpus.num_documents),
+            "num_tokens": int(self.corpus.num_tokens),
+        }
+        metadata.update(self.provenance)
+        if extra_metadata:
+            metadata.update(extra_metadata)
+        return ModelSnapshot(
+            phi=self.phi(),
+            alpha=self.alpha,
+            beta=self.beta,
+            vocabulary=self.corpus.vocabulary,
+            metadata=metadata,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def save_checkpoint(self, directory) -> Any:
+        """Write a resumable checkpoint; returns the directory written."""
+        from repro.training.checkpoint import Checkpoint
+
+        return Checkpoint.capture(self).save(directory)
+
+    @classmethod
+    def resume(
+        cls,
+        directory,
+        corpus: Corpus,
+        backend: str = "process",
+    ) -> "ParallelTrainer":
+        """Rebuild a trainer from a checkpoint and continue bit-exactly.
+
+        ``corpus`` must be the corpus the checkpointed run trained on (a
+        fingerprint in the checkpoint guards against mix-ups).
+        """
+        from repro.training.checkpoint import Checkpoint
+
+        return Checkpoint.load(directory).restore(corpus, backend=backend)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop the workers; the trainer is unusable afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.close()
+        self._workers = []
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("trainer is closed")
+
+    def __enter__(self) -> "ParallelTrainer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParallelTrainer(sampler={self.config.sampler!r}, "
+            f"K={self.num_topics}, workers={self.num_workers}, "
+            f"backend={self.backend!r}, epochs={self.epochs_completed})"
+        )

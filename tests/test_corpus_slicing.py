@@ -1,0 +1,107 @@
+"""Tests for document-range corpus views and contiguous shard partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import SyntheticCorpusSpec, generate_lda_corpus
+from repro.corpus.corpus import Corpus, Document
+from repro.corpus.vocabulary import Vocabulary
+from repro.distributed.partition import contiguous_shards, imbalance_index
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    spec = SyntheticCorpusSpec(
+        num_documents=25, vocabulary_size=40, mean_document_length=12
+    )
+    return generate_lda_corpus(spec, rng=0)
+
+
+class TestCorpusSlice:
+    def test_slice_matches_subset(self, corpus):
+        view = corpus.slice(5, 12)
+        rebuilt = corpus.subset(range(5, 12))
+        assert view.num_documents == 7
+        assert np.array_equal(view.token_words, rebuilt.token_words)
+        assert np.array_equal(view.doc_offsets, rebuilt.doc_offsets)
+        assert np.array_equal(view.token_documents, rebuilt.token_documents)
+        assert np.array_equal(view.word_offsets, rebuilt.word_offsets)
+        assert np.array_equal(
+            view.token_words[view.word_order],
+            rebuilt.token_words[rebuilt.word_order],
+        )
+
+    def test_slice_shares_token_storage(self, corpus):
+        view = corpus.slice(3, 9)
+        assert view.token_words.base is not None
+        assert np.shares_memory(view.token_words, corpus.token_words)
+
+    def test_slices_cover_corpus(self, corpus):
+        boundaries = contiguous_shards(corpus.document_lengths(), 4)
+        shards = [
+            corpus.slice(int(boundaries[i]), int(boundaries[i + 1]))
+            for i in range(4)
+        ]
+        assert sum(shard.num_documents for shard in shards) == corpus.num_documents
+        assert sum(shard.num_tokens for shard in shards) == corpus.num_tokens
+        stitched = np.concatenate([shard.token_words for shard in shards])
+        assert np.array_equal(stitched, corpus.token_words)
+
+    def test_document_access_in_slice(self, corpus):
+        view = corpus.slice(10, 15)
+        for local in range(view.num_documents):
+            assert np.array_equal(
+                view.document_words(local), corpus.document_words(10 + local)
+            )
+
+    def test_invalid_ranges_rejected(self, corpus):
+        for start, stop in [(-1, 3), (3, 3), (5, 2), (0, corpus.num_documents + 1)]:
+            with pytest.raises(IndexError):
+                corpus.slice(start, stop)
+
+    def test_all_empty_slice_allowed(self):
+        vocab = Vocabulary(["a", "b"])
+        docs = [
+            Document(np.array([0, 1])),
+            Document(np.array([], dtype=np.int64)),
+            Document(np.array([], dtype=np.int64)),
+        ]
+        view = Corpus(docs, vocab).slice(1, 3)
+        assert view.num_documents == 2
+        assert view.num_tokens == 0
+        assert np.array_equal(view.word_frequencies(), [0, 0])
+
+
+class TestContiguousShards:
+    def test_uniform_sizes_split_evenly(self):
+        boundaries = contiguous_shards(np.ones(12, dtype=np.int64), 4)
+        assert np.array_equal(boundaries, [0, 3, 6, 9, 12])
+
+    def test_loads_are_balanced(self, corpus):
+        lengths = corpus.document_lengths()
+        boundaries = contiguous_shards(lengths, 5)
+        loads = [
+            int(lengths[boundaries[i] : boundaries[i + 1]].sum()) for i in range(5)
+        ]
+        assert imbalance_index(np.array(loads)) < 0.5
+
+    def test_every_shard_nonempty_even_with_skew(self):
+        # One huge document dwarfing the fair share must not starve shards.
+        sizes = np.array([1000, 1, 1, 1], dtype=np.int64)
+        boundaries = contiguous_shards(sizes, 4)
+        assert np.array_equal(boundaries, [0, 1, 2, 3, 4])
+
+    def test_boundaries_monotone(self, corpus):
+        boundaries = contiguous_shards(corpus.document_lengths(), 7)
+        assert (np.diff(boundaries) >= 1).all()
+        assert boundaries[0] == 0
+        assert boundaries[-1] == corpus.num_documents
+
+    def test_too_many_partitions_rejected(self):
+        with pytest.raises(ValueError, match="contiguous shards"):
+            contiguous_shards(np.ones(3, dtype=np.int64), 4)
+
+    def test_single_partition(self):
+        assert np.array_equal(
+            contiguous_shards(np.array([3, 1, 2], dtype=np.int64), 1), [0, 3]
+        )

@@ -1,0 +1,122 @@
+"""Tests for the ``python -m repro.train`` command line."""
+
+import numpy as np
+import pytest
+
+from repro.serving import ModelSnapshot
+from repro.train import main
+from repro.training.cli import build_corpus, build_parser
+
+
+def run_cli(*extra, tmp_path=None):
+    argv = [
+        "--synthetic",
+        "--docs", "24",
+        "--vocab-size", "50",
+        "--doc-length", "15",
+        "--topics", "4",
+        "--workers", "2",
+        "--backend", "inline",
+        "--seed", "0",
+    ]
+    argv += list(extra)
+    return main(argv)
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["--synthetic"])
+        assert args.sampler == "warplda"
+        assert args.workers == 2
+        assert args.backend == "process"
+
+    def test_corpus_source_is_exclusive(self):
+        args = build_parser().parse_args(["--synthetic", "--preset", "nytimes_like"])
+        with pytest.raises(SystemExit):
+            build_corpus(args)
+        args = build_parser().parse_args([])
+        with pytest.raises(SystemExit):
+            build_corpus(args)
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit):
+            main(["--synthetic", "--resume", "--backend", "inline"])
+
+
+class TestEndToEnd:
+    def test_train_writes_checkpoint_and_snapshot(self, tmp_path, capsys):
+        code = run_cli(
+            "--epochs", "2",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--checkpoint-every", "1",
+            "--snapshot-out", str(tmp_path / "model.npz"),
+        )
+        assert code == 0
+        assert (tmp_path / "ckpt" / "checkpoint.json").exists()
+        snapshot = ModelSnapshot.load(tmp_path / "model.npz")
+        assert snapshot.num_topics == 4
+        out = capsys.readouterr().out
+        assert "epoch    2" in out
+        assert "checkpoint written" in out
+
+    def test_resume_continues_from_checkpoint(self, tmp_path, capsys):
+        run_cli("--epochs", "2", "--checkpoint-dir", str(tmp_path / "ckpt"))
+        code = run_cli(
+            "--epochs", "1",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--resume",
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed warplda" in out
+        assert "epoch    3" in out
+
+    def test_resume_warns_about_ignored_model_flags(self, tmp_path, capsys):
+        run_cli("--epochs", "1", "--checkpoint-dir", str(tmp_path / "ckpt"))
+        run_cli(
+            "--epochs", "1",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--resume",
+            "--topics", "9",
+            "--sampler", "cgs",
+        )
+        out = capsys.readouterr().out
+        assert "warning: --topics 9 ignored on resume" in out
+        assert "warning: --sampler cgs ignored on resume" in out
+        assert "warning: --seed ignored on resume" in out
+
+    def test_resumed_run_matches_straight_run(self, tmp_path):
+        run_cli(
+            "--epochs", "4",
+            "--snapshot-out", str(tmp_path / "straight.npz"),
+        )
+        run_cli("--epochs", "2", "--checkpoint-dir", str(tmp_path / "ckpt"))
+        run_cli(
+            "--epochs", "2",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--resume",
+            "--snapshot-out", str(tmp_path / "resumed.npz"),
+        )
+        straight = ModelSnapshot.load(tmp_path / "straight.npz")
+        resumed = ModelSnapshot.load(tmp_path / "resumed.npz")
+        assert np.array_equal(straight.phi, resumed.phi)
+
+    def test_uci_corpus_source(self, tmp_path):
+        from repro.corpus import SyntheticCorpusSpec, generate_lda_corpus, write_uci_bow
+
+        corpus = generate_lda_corpus(
+            SyntheticCorpusSpec(
+                num_documents=15, vocabulary_size=30, mean_document_length=10
+            ),
+            rng=0,
+        )
+        write_uci_bow(corpus, tmp_path / "docword.txt")
+        code = main([
+            "--corpus", str(tmp_path / "docword.txt"),
+            "--topics", "3",
+            "--workers", "2",
+            "--backend", "inline",
+            "--epochs", "1",
+            "--seed", "0",
+        ])
+        assert code == 0

@@ -1,0 +1,115 @@
+"""Determinism suite: RNG spawning/state and bit-identical parallel runs."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.corpus import SyntheticCorpusSpec, generate_lda_corpus
+from repro.sampling.rng import (
+    ensure_rng,
+    export_rng_state,
+    restore_rng_state,
+    spawn_rngs,
+)
+from repro.training import ParallelTrainer
+
+
+def streams(rngs, n=16):
+    return [rng.integers(0, 2**31, size=n).tolist() for rng in rngs]
+
+
+class TestSpawnRngs:
+    def test_int_seed_reproducible(self):
+        assert streams(spawn_rngs(42, 4)) == streams(spawn_rngs(42, 4))
+
+    def test_seed_sequence_matches_int_seed(self):
+        from_int = streams(spawn_rngs(42, 4))
+        from_sequence = streams(spawn_rngs(np.random.SeedSequence(42), 4))
+        assert from_int == from_sequence
+
+    def test_generator_seed_reproducible(self):
+        first = streams(spawn_rngs(np.random.default_rng(7), 3))
+        second = streams(spawn_rngs(np.random.default_rng(7), 3))
+        assert first == second
+
+    def test_children_are_independent(self):
+        children = streams(spawn_rngs(0, 4))
+        assert len({tuple(stream) for stream in children}) == 4
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestRngState:
+    def test_export_restore_continues_stream(self):
+        rng = ensure_rng(123)
+        rng.random(100)
+        state = export_rng_state(rng)
+        expected = rng.integers(0, 2**31, size=32)
+        restored = restore_rng_state(state)
+        assert np.array_equal(restored.integers(0, 2**31, size=32), expected)
+
+    def test_state_survives_json(self):
+        rng = ensure_rng(5)
+        rng.random(10)
+        state = json.loads(json.dumps(export_rng_state(rng)))
+        expected = rng.random(8)
+        assert np.array_equal(restore_rng_state(state).random(8), expected)
+
+    def test_unknown_bit_generator_rejected(self):
+        with pytest.raises(ValueError, match="bit generator"):
+            restore_rng_state({"bit_generator": "NotAGenerator", "state": {}})
+
+
+class TestParallelDeterminism:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        spec = SyntheticCorpusSpec(
+            num_documents=36, vocabulary_size=70, mean_document_length=20, num_topics=4
+        )
+        return generate_lda_corpus(spec, rng=3)
+
+    def run(self, corpus, tmp_path, tag, backend):
+        with ParallelTrainer(
+            corpus, num_workers=4, num_topics=5, seed=2024, backend=backend
+        ) as trainer:
+            trainer.train(3, checkpoint_dir=tmp_path / tag)
+        return tmp_path / tag
+
+    def checkpoint_arrays(self, directory):
+        with np.load(directory / "state.npz") as arrays:
+            return {name: arrays[name].copy() for name in arrays.files}
+
+    def test_two_runs_produce_bit_identical_checkpoints(self, corpus, tmp_path):
+        first = self.checkpoint_arrays(self.run(corpus, tmp_path, "a", "inline"))
+        second = self.checkpoint_arrays(self.run(corpus, tmp_path, "b", "inline"))
+        assert first.keys() == second.keys()
+        for name in first:
+            assert np.array_equal(first[name], second[name]), name
+        meta_a = (tmp_path / "a" / "checkpoint.json").read_text()
+        meta_b = (tmp_path / "b" / "checkpoint.json").read_text()
+        assert meta_a == meta_b
+        phi_a = np.load(tmp_path / "a" / "snapshot.npz")["phi"]
+        phi_b = np.load(tmp_path / "b" / "snapshot.npz")["phi"]
+        assert np.array_equal(phi_a, phi_b)
+
+    def test_process_backend_checkpoint_matches_inline(self, corpus, tmp_path):
+        inline = self.checkpoint_arrays(self.run(corpus, tmp_path, "inl", "inline"))
+        process = self.checkpoint_arrays(self.run(corpus, tmp_path, "proc", "process"))
+        for name in inline:
+            assert np.array_equal(inline[name], process[name]), name
+
+    def test_different_seeds_diverge(self, corpus):
+        with ParallelTrainer(
+            corpus, num_workers=2, num_topics=5, seed=1, backend="inline"
+        ) as a, ParallelTrainer(
+            corpus, num_workers=2, num_topics=5, seed=2, backend="inline"
+        ) as b:
+            a.train(1)
+            b.train(1)
+            assert not np.array_equal(a.assignments(), b.assignments())
