@@ -1,0 +1,206 @@
+"""Sampling-throughput benchmark: scalar vs slab kernels, every hot path.
+
+Measures tokens/second for each sampler under both execution paths
+(``kernel="scalar"`` — the legacy per-row/per-token loops — and
+``kernel="slab"`` — the bucketed kernels of :mod:`repro.kernels`) on a
+synthetic corpus with sharp planted topics, and checks that the two paths
+reach the same held-out perplexity.  Results land in ``BENCH_sampling.json``
+at the repository root: the first point of the perf trajectory the ROADMAP
+asks for.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_sampling_throughput.py
+
+or quickly on a tiny corpus (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_sampling_throughput.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.warplda import WarpLDA
+from repro.corpus import SyntheticCorpusSpec, generate_lda_corpus
+from repro.evaluation.perplexity import held_out_perplexity
+from repro.samplers import (
+    AliasLDASampler,
+    CollapsedGibbsSampler,
+    LightLDASampler,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Per-sampler multiplier on ``--iterations`` for the *perplexity* runs.
+#: The MH-proposal baselines converge more slowly per sweep than the exact
+#: enumeration samplers; comparing both execution paths mid-trajectory would
+#: measure seed variance, not kernel fidelity, so they get twice the sweeps
+#: to reach the shared plateau.  Tokens/sec is unaffected (it is normalised
+#: by the iteration count).
+ITERATION_MULTIPLIER = {"aliaslda": 2, "lightlda": 2}
+
+#: Samplers with both execution paths (CLI name -> constructor).
+BENCH_SAMPLERS = {
+    "warplda": lambda corpus, topics, seed, kernel: WarpLDA(
+        corpus, num_topics=topics, seed=seed, kernel=kernel
+    ),
+    "cgs": lambda corpus, topics, seed, kernel: CollapsedGibbsSampler(
+        corpus, num_topics=topics, seed=seed, kernel=kernel
+    ),
+    "aliaslda": lambda corpus, topics, seed, kernel: AliasLDASampler(
+        corpus, num_topics=topics, seed=seed, kernel=kernel
+    ),
+    "lightlda": lambda corpus, topics, seed, kernel: LightLDASampler(
+        corpus, num_topics=topics, seed=seed, kernel=kernel
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--docs", type=int, default=2500)
+    parser.add_argument("--vocab-size", type=int, default=3000)
+    parser.add_argument("--doc-length", type=int, default=35)
+    parser.add_argument("--topics", type=int, default=4)
+    parser.add_argument("--iterations", type=int, default=50)
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[0, 1],
+        help="training seeds; perplexity is averaged, timing uses the first",
+    )
+    parser.add_argument(
+        "--samplers",
+        nargs="+",
+        choices=sorted(BENCH_SAMPLERS),
+        default=sorted(BENCH_SAMPLERS),
+    )
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_sampling.json"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny corpus / single seed / few iterations (CI smoke step)",
+    )
+    return parser
+
+
+def bench_corpus(args: argparse.Namespace):
+    """The bench corpus: sharp, well-separated planted topics.
+
+    Low Dirichlet concentrations make the posterior effectively unimodal, so
+    independently seeded runs land on the same solution and held-out
+    perplexity is a stable equivalence metric (the noise floor is well under
+    the 2% parity budget).
+    """
+    spec = SyntheticCorpusSpec(
+        num_documents=args.docs,
+        vocabulary_size=args.vocab_size,
+        mean_document_length=args.doc_length,
+        num_topics=args.topics,
+        doc_topic_concentration=0.05,
+        topic_word_concentration=0.02,
+    )
+    return generate_lda_corpus(spec, rng=0)
+
+
+def bench_sampler(
+    name: str, train, held, args: argparse.Namespace
+) -> Dict[str, object]:
+    """Time both paths of one sampler and measure held-out perplexity."""
+    build = BENCH_SAMPLERS[name]
+    iterations = args.iterations * ITERATION_MULTIPLIER.get(name, 1)
+    result: Dict[str, object] = {"iterations": iterations}
+    for kernel in ("scalar", "slab"):
+        perplexities: List[float] = []
+        elapsed = 0.0
+        for index, seed in enumerate(args.seeds):
+            sampler = build(train, args.topics, seed, kernel)
+            start = time.perf_counter()
+            sampler.fit(iterations)
+            duration = time.perf_counter() - start
+            if index == 0:
+                elapsed = duration
+            perplexities.append(
+                held_out_perplexity(held, sampler.phi(), sampler.alpha)
+            )
+        tokens = iterations * train.num_tokens
+        result[kernel] = {
+            "seconds": round(elapsed, 4),
+            "tokens_per_sec": round(tokens / elapsed, 1),
+            "perplexity": round(float(np.mean(perplexities)), 4),
+        }
+    scalar, slab = result["scalar"], result["slab"]
+    result["speedup"] = round(
+        slab["tokens_per_sec"] / scalar["tokens_per_sec"], 2
+    )
+    result["perplexity_gap"] = round(
+        abs(slab["perplexity"] - scalar["perplexity"]) / scalar["perplexity"], 4
+    )
+    return result
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.smoke:
+        args.docs = min(args.docs, 80)
+        args.vocab_size = min(args.vocab_size, 120)
+        args.doc_length = min(args.doc_length, 30)
+        args.iterations = min(args.iterations, 5)
+        args.seeds = args.seeds[:1]
+
+    corpus = bench_corpus(args)
+    train, held = corpus.split(0.75, rng=1)
+    print(
+        f"corpus: {corpus.num_documents} docs, {corpus.num_tokens} tokens, "
+        f"V={corpus.vocabulary_size}; K={args.topics}, "
+        f"{args.iterations} iterations, seeds {args.seeds}"
+    )
+
+    samplers: Dict[str, object] = {}
+    for name in args.samplers:
+        samplers[name] = bench_sampler(name, train, held, args)
+        row = samplers[name]
+        print(
+            f"{name:>9}: scalar {row['scalar']['tokens_per_sec']:>12,.0f} tok/s"
+            f"  slab {row['slab']['tokens_per_sec']:>12,.0f} tok/s"
+            f"  speedup {row['speedup']:>6.2f}x"
+            f"  perplexity gap {row['perplexity_gap']:.2%}"
+        )
+
+    report = {
+        "benchmark": "sampling_throughput",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "corpus": {
+            "documents": corpus.num_documents,
+            "tokens": corpus.num_tokens,
+            "vocabulary": corpus.vocabulary_size,
+            "train_tokens": train.num_tokens,
+            "held_out_tokens": held.num_tokens,
+        },
+        "config": {
+            "topics": args.topics,
+            "iterations": args.iterations,
+            "seeds": list(args.seeds),
+            "smoke": bool(args.smoke),
+        },
+        "samplers": samplers,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

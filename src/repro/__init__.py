@@ -14,6 +14,10 @@ Subpackages
 ``repro.samplers``
     Baseline LDA samplers: collapsed Gibbs, SparseLDA, AliasLDA, F+LDA and
     LightLDA.
+``repro.kernels``
+    Vectorized sampling kernels: bucketed slab execution of the sampler hot
+    paths (WarpLDA phases, blocked dense CGS, delayed LightLDA cycles) plus
+    the batched draw and proposal primitives they share.
 ``repro.core``
     The paper's contribution: the WarpLDA MCEM sampler and its ablation
     variants.

@@ -26,10 +26,15 @@ the property that shrinks the randomly accessed memory per document to O(K).
 
 Implementation notes
 --------------------
-* Each per-word / per-document inner loop is vectorised with NumPy over the
-  tokens of that word / document; the MH chain over the ``M`` proposals is a
-  short Python loop of vectorised steps.  The sequence of accept/reject
-  decisions is identical to the per-token formulation.
+* Two execution paths share the algorithm.  The default ``kernel="slab"``
+  path runs each phase over the bucketed slab matrices of
+  :mod:`repro.kernels` — whole groups of words/documents processed by single
+  NumPy operations (see :mod:`repro.kernels.warp`).  Because the counts are
+  delayed for the duration of a phase, the slab chain has identical per-row
+  transition kernels to the scalar formulation; only the RNG consumption
+  order differs.  ``kernel="scalar"`` keeps the original row-by-row loop
+  (each word/document vectorised over its own tokens) as the correctness
+  oracle.
 * The doc proposal is drawn by *random positioning* (pick the assignment of a
   uniformly random token of the document) mixed with the prior α; the word
   proposal by random positioning mixed with the uniform distribution implied
@@ -47,6 +52,9 @@ import numpy as np
 from repro.corpus.corpus import Corpus
 from repro.evaluation.convergence import ConvergenceTracker
 from repro.evaluation.likelihood import log_joint_likelihood_from_assignments
+from repro.kernels.buckets import corpus_buckets
+from repro.kernels.warp import document_phase as slab_document_phase
+from repro.kernels.warp import word_phase as slab_word_phase
 from repro.samplers.base import resolve_hyperparameters
 from repro.sampling.alias import AliasTable
 from repro.sampling.rng import RngLike, ensure_rng, export_rng_state, restore_rng_state
@@ -121,6 +129,10 @@ class WarpLDAConfig:
     doc_proposal:
         ``"mixture"`` (random positioning + prior draw).  Kept as an explicit
         knob for the ablation benches.
+    kernel:
+        ``"slab"`` (the default: bucketed whole-bucket NumPy execution, see
+        :mod:`repro.kernels.warp`) or ``"scalar"`` (the legacy row-by-row
+        loop, kept as the correctness oracle).
     """
 
     num_topics: int
@@ -129,6 +141,7 @@ class WarpLDAConfig:
     beta: float = 0.01
     word_proposal: str = "mixture"
     doc_proposal: str = "mixture"
+    kernel: str = "slab"
 
     def __post_init__(self) -> None:
         if self.num_topics <= 0:
@@ -142,6 +155,10 @@ class WarpLDAConfig:
         if self.doc_proposal not in ("mixture",):
             raise ValueError(
                 f"doc_proposal must be 'mixture', got {self.doc_proposal!r}"
+            )
+        if self.kernel not in ("slab", "scalar"):
+            raise ValueError(
+                f"kernel must be 'slab' or 'scalar', got {self.kernel!r}"
             )
 
 
@@ -185,6 +202,7 @@ class WarpLDA:
         alpha: Optional[Union[float, np.ndarray]] = None,
         beta: float = 0.01,
         word_proposal: str = "mixture",
+        kernel: str = "slab",
         seed: RngLike = None,
         config: Optional[WarpLDAConfig] = None,
     ):
@@ -195,6 +213,7 @@ class WarpLDA:
                 alpha=alpha,
                 beta=beta,
                 word_proposal=word_proposal,
+                kernel=kernel,
             )
         self.config = config
         self.corpus = corpus
@@ -227,6 +246,11 @@ class WarpLDA:
         # epoch (see repro.training); None when training single-process.
         self._external_word_topic: Optional[np.ndarray] = None
         self._external_topic_counts: Optional[np.ndarray] = None
+        # Reused per-phase scratch: the delayed global counts as float64 (and
+        # the cached float64 view of the external sums), so neither phase
+        # re-allocates a K-vector per call.
+        self._stale_topic_buffer = np.empty(self.num_topics, dtype=np.float64)
+        self._external_topic_f64: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # Training loop
@@ -256,9 +280,24 @@ class WarpLDA:
 
     def run_iteration(self) -> None:
         """One full WarpLDA iteration: word phase, then document phase."""
-        self._word_phase()
-        self._document_phase()
+        if self.config.kernel == "slab":
+            self._word_phase_slab()
+            self._document_phase_slab()
+        else:
+            self._word_phase()
+            self._document_phase()
         self.iterations_completed += 1
+
+    def _stale_topic_counts(self) -> np.ndarray:
+        """The phase-frozen global ``c_k`` as float64, in a reused buffer.
+
+        External shard counts (data-parallel epochs) are added from the
+        float64 view cached by :meth:`set_external_counts`.
+        """
+        np.copyto(self._stale_topic_buffer, self.topic_counts)
+        if self._external_topic_f64 is not None:
+            self._stale_topic_buffer += self._external_topic_f64
+        return self._stale_topic_buffer
 
     # ------------------------------------------------------------------ #
     # Data-parallel shard hooks (repro.training)
@@ -296,11 +335,13 @@ class WarpLDA:
             )
         self._external_word_topic = word_topic
         self._external_topic_counts = topic_counts
+        self._external_topic_f64 = topic_counts.astype(np.float64)
 
     def clear_external_counts(self) -> None:
         """Return to single-process semantics (no external shard counts)."""
         self._external_word_topic = None
         self._external_topic_counts = None
+        self._external_topic_f64 = None
 
     def export_state(self) -> Dict[str, Any]:
         """Capture everything needed to continue this run bit-exactly.
@@ -355,9 +396,7 @@ class WarpLDA:
         # Delayed global counts: fixed for the duration of the phase.  During
         # a data-parallel epoch the frozen contribution of the other shards is
         # added on top of the local counts.
-        stale_topic_counts = self.topic_counts.astype(np.float64)
-        if self._external_topic_counts is not None:
-            stale_topic_counts = stale_topic_counts + self._external_topic_counts
+        stale_topic_counts = self._stale_topic_counts()
 
         word_offsets = corpus.word_offsets
         word_order = corpus.word_order
@@ -406,9 +445,7 @@ class WarpLDA:
         beta_sum = self.beta_sum
         num_topics = self.num_topics
         rng = self.rng
-        stale_topic_counts = self.topic_counts.astype(np.float64)
-        if self._external_topic_counts is not None:
-            stale_topic_counts = stale_topic_counts + self._external_topic_counts
+        stale_topic_counts = self._stale_topic_counts()
 
         doc_offsets = corpus.doc_offsets
 
@@ -441,6 +478,43 @@ class WarpLDA:
             self._draw_doc_proposals(token_slice, current, length, rng)
 
         self.topic_counts = np.bincount(assignments, minlength=num_topics)
+
+    # ------------------------------------------------------------------ #
+    # Slab-kernel phases (repro.kernels.warp)
+    # ------------------------------------------------------------------ #
+    def _word_phase_slab(self) -> None:
+        """Word phase over bucketed word slabs (kernel path)."""
+        slab_word_phase(
+            self.assignments,
+            self.proposals,
+            corpus_buckets(self.corpus, "word"),
+            self._stale_topic_counts(),
+            self.num_topics,
+            self.num_mh_steps,
+            self.beta,
+            self.beta_sum,
+            self.rng,
+            exact_word_proposal=self.config.word_proposal == "alias",
+            external_word_topic=self._external_word_topic,
+        )
+        self.topic_counts = np.bincount(self.assignments, minlength=self.num_topics)
+
+    def _document_phase_slab(self) -> None:
+        """Document phase over bucketed document slabs (kernel path)."""
+        slab_document_phase(
+            self.assignments,
+            self.proposals,
+            corpus_buckets(self.corpus, "doc"),
+            self._stale_topic_counts(),
+            self.alpha,
+            self.alpha_sum,
+            self.num_topics,
+            self.num_mh_steps,
+            self.beta_sum,
+            self.rng,
+            alpha_alias=self._alpha_alias,
+        )
+        self.topic_counts = np.bincount(self.assignments, minlength=self.num_topics)
 
     # ------------------------------------------------------------------ #
     # Proposal draws (both O(1) per draw)

@@ -1,0 +1,74 @@
+"""Vectorized sampling kernels: bucketed slab execution for the hot paths.
+
+The paper's central claim is that LDA sampling throughput is decided by the
+*structure* of memory accesses, not by per-token asymptotics.  This package
+applies the same lesson to the Python/NumPy reproduction: the interpreter-level
+loop over words, documents or tokens is itself a "random access" cost, so the
+kernels here batch whole groups of words/documents into rectangular **slabs**
+and execute every sampler hot path as a handful of whole-array NumPy
+operations.
+
+Layout
+------
+:mod:`~repro.kernels.buckets`
+    Groups the rows of one corpus axis (words or documents) into power-of-two
+    length buckets and pads each bucket into an ``(n_slabs, slab_len)`` token
+    index matrix, built once per corpus and cached on it.
+:mod:`~repro.kernels.draws`
+    Batched inverse-CDF categorical draws: one draw per row of a weight
+    matrix, many draws per row, and per-token draws from a shared ``V x K``
+    weight table (one ``cumsum``/``searchsorted`` pass each).
+:mod:`~repro.kernels.proposals`
+    Token-level proposal helpers shared by training and serving: the CSR
+    layout of a flat token batch and the random-positioning mixture proposal
+    of the paper's Sec. 4.3.
+:mod:`~repro.kernels.warp`
+    WarpLDA's word and document phases (Alg. 2) over slab buckets: the MH
+    accept/reject chains of Eq. (7) and the proposal draws run as single
+    NumPy expressions per bucket.
+:mod:`~repro.kernels.cgs`
+    The blocked dense collapsed-Gibbs kernel: the full conditional of Eq. (1)
+    enumerated for a whole document block, sampled with one cumulative-sum
+    pass.
+:mod:`~repro.kernels.light`
+    LightLDA's cycle proposals executed as a delayed-count token-parallel
+    sweep (the WarpLDA Sec. 4.2 reordering applied to LightLDA's chain).
+
+Exactness
+---------
+WarpLDA freezes all counts for the duration of a phase (the MCEM E-step keeps
+Θ and Φ fixed), so processing the words of a phase slab-parallel instead of
+one-by-one is *exact*: no word's chain reads another word's in-phase updates.
+The blocked CGS and delayed LightLDA kernels freeze counts per block / per
+sweep, which is the same delayed-count device — a statistically equivalent
+chain targeting the same stationary distribution, not a bit-identical replay
+of the scalar path.  Every consumer therefore keeps the scalar implementation
+behind ``kernel="scalar"`` as the correctness oracle.
+"""
+
+from repro.kernels.buckets import SlabBucket, build_buckets, corpus_buckets
+from repro.kernels.cgs import block_conditionals, blocked_gibbs_sweep
+from repro.kernels.draws import (
+    row_categorical_draw,
+    row_categorical_matrix,
+    table_categorical_draws,
+)
+from repro.kernels.light import delayed_cycle_sweep
+from repro.kernels.proposals import positioning_mixture_proposal, token_layout
+from repro.kernels.warp import document_phase, word_phase
+
+__all__ = [
+    "SlabBucket",
+    "block_conditionals",
+    "blocked_gibbs_sweep",
+    "build_buckets",
+    "corpus_buckets",
+    "delayed_cycle_sweep",
+    "document_phase",
+    "positioning_mixture_proposal",
+    "row_categorical_draw",
+    "row_categorical_matrix",
+    "table_categorical_draws",
+    "token_layout",
+    "word_phase",
+]

@@ -1,0 +1,115 @@
+"""LightLDA's cycle proposals as a delayed-count, token-parallel sweep.
+
+Scalar LightLDA (:mod:`repro.samplers.lightlda`) alternates two O(1)
+proposals per token — ``q_doc(k) ∝ C_dk + α_k`` and
+``q_word(k) ∝ (C_wk + β)/(C_k + β̄)`` — updating counts *instantly* after
+every accepted move, which forces a Python loop over tokens.
+
+The kernel applies WarpLDA's delayed-count reordering (Sec. 4.2) to the same
+cycle: all counts (and the assignments the random-positioning draw reads) are
+frozen at the start of the sweep, so every token's ``M`` proposal cycles
+become independent and the whole corpus runs as a flat vectorised chain —
+precisely the MCEM E-step argument that justifies WarpLDA's own phases.
+
+Freezing also collapses the acceptance rates to the two factors of Eq. (7):
+with the doc proposal equal to the delayed document factor of the target,
+
+    π_doc  = min{1, (C_wt + β)(C_s + β̄) / ((C_ws + β)(C_t + β̄))}
+
+and with the word proposal equal to the delayed word/topic factor,
+
+    π_word = min{1, (C_dt + α_t) / (C_ds + α_s)}.
+
+The stale per-word alias tables of the scalar path become one exact batched
+draw from the frozen ``(V, K)`` proposal table (a single flattened
+``searchsorted``), refreshed every sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.kernels.draws import prepare_table, table_categorical_draws
+from repro.kernels.proposals import positioning_mixture_proposal
+from repro.sampling.alias import AliasTable
+
+__all__ = ["delayed_cycle_sweep"]
+
+
+def delayed_cycle_sweep(
+    state,
+    alpha: np.ndarray,
+    alpha_sum: float,
+    beta: float,
+    beta_sum: float,
+    num_mh_steps: int,
+    rng: np.random.Generator,
+    alpha_alias: Optional[AliasTable] = None,
+) -> None:
+    """One delayed-count LightLDA sweep over every token of the corpus.
+
+    One "MH step" is a full cycle (doc-proposal move then word-proposal
+    move), matching the scalar sampler's use of ``M``.  Mutates ``state`` in
+    place.  The count structures are updated *incrementally* (old
+    assignments subtracted, new ones added) rather than rebuilt, so imported
+    AD-LDA global word-topic counts — which a rebuild would silently reduce
+    to the shard-local contribution — survive the sweep exactly as they do
+    on the scalar path.
+    """
+    corpus = state.corpus
+    num_topics = state.num_topics
+    num_tokens = corpus.num_tokens
+    words = corpus.token_words
+    docs = corpus.token_documents
+    token_offset = corpus.doc_offsets[docs]
+    token_length = corpus.document_lengths()[docs]
+
+    frozen_assignments = state.assignments.copy()
+    frozen_doc = state.doc_topic
+    frozen_word = state.word_topic
+    frozen_topic = state.topic_counts.astype(np.float64)
+    # The frozen word-proposal table, shared by every token of a word.
+    word_table = (frozen_word + beta) / (frozen_topic + beta_sum)
+    word_cdf = prepare_table(word_table)
+    mixture_weight = token_length / (token_length + alpha_sum)
+
+    current = frozen_assignments.copy()
+    for _ in range(num_mh_steps):
+        # Doc-proposal move: π_doc (word/topic factor only, see module doc).
+        proposed = positioning_mixture_proposal(
+            frozen_assignments,
+            token_offset,
+            token_length,
+            mixture_weight,
+            num_topics,
+            rng,
+            alpha_alias=alpha_alias,
+        )
+        ratio = (
+            (frozen_word[words, proposed] + beta)
+            * (frozen_topic[current] + beta_sum)
+        ) / (
+            (frozen_word[words, current] + beta)
+            * (frozen_topic[proposed] + beta_sum)
+        )
+        accept = rng.random(num_tokens) < ratio
+        current = np.where(accept, proposed, current)
+
+        # Word-proposal move: π_word (document factor only).
+        proposed = table_categorical_draws(word_cdf, num_topics, words, rng)
+        ratio = (frozen_doc[docs, proposed] + alpha[proposed]) / (
+            frozen_doc[docs, current] + alpha[current]
+        )
+        accept = rng.random(num_tokens) < ratio
+        current = np.where(accept, proposed, current)
+
+    state.assignments[:] = current
+    np.subtract.at(state.doc_topic, (docs, frozen_assignments), 1)
+    np.add.at(state.doc_topic, (docs, current), 1)
+    np.subtract.at(state.word_topic, (words, frozen_assignments), 1)
+    np.add.at(state.word_topic, (words, current), 1)
+    state.topic_counts += np.bincount(
+        current, minlength=num_topics
+    ) - np.bincount(frozen_assignments, minlength=num_topics)

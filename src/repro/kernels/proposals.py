@@ -1,0 +1,82 @@
+"""Token-level proposal helpers shared by training and serving.
+
+Both the delayed LightLDA kernel and the serving layer's MH fold-in
+(:func:`repro.serving.infer.mh_fold_in`) run the paper's Sec. 4.3
+**random-positioning mixture** doc proposal over a flat token batch:
+
+    with probability ``L_d / (L_d + ᾱ)`` pick the assignment of a uniformly
+    random token of the same document, otherwise draw from the prior α.
+
+:func:`token_layout` computes the CSR-style per-token arrays the draw needs,
+and :func:`positioning_mixture_proposal` performs the draw for a whole batch
+with three vectorised RNG calls.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.sampling.alias import AliasTable
+
+__all__ = ["positioning_mixture_proposal", "token_layout"]
+
+
+def token_layout(
+    lengths: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-token CSR arrays for a batch of rows with the given lengths.
+
+    Returns ``(offsets, token_row, token_offset, token_length)`` where
+    ``offsets`` has length ``R + 1`` and the other three are per-token:
+    the owning row, the row's first-token position, and the row's length.
+    Zero-length rows contribute no tokens (and must be filtered by the
+    caller if it needs a dense row <-> token mapping).
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    token_row = np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)
+    token_offset = offsets[token_row]
+    token_length = lengths[token_row]
+    return offsets, token_row, token_offset, token_length
+
+
+def positioning_mixture_proposal(
+    source_assignments: np.ndarray,
+    token_offset: np.ndarray,
+    token_length: np.ndarray,
+    mixture_weight: np.ndarray,
+    num_topics: int,
+    rng: np.random.Generator,
+    alpha_alias: Optional[AliasTable] = None,
+) -> np.ndarray:
+    """Draw one mixture proposal per token: ``q(k) ∝ C_rk + α_k``.
+
+    Parameters
+    ----------
+    source_assignments:
+        Flat assignment array the random-positioning component reads.  For
+        WarpLDA-style delayed semantics pass the assignments *frozen at the
+        start of the sweep*, so the proposal density is exactly the delayed
+        ``C_rk + α_k``; passing the live chain state gives LightLDA-style
+        instant semantics instead.
+    token_offset, token_length:
+        Per-token row start and row length (see :func:`token_layout`);
+        every ``token_length`` must be ``>= 1``.
+    mixture_weight:
+        Per-token probability of the counts component, normally
+        ``L / (L + ᾱ)``.
+    num_topics:
+        ``K``; the prior component draws uniformly when ``alpha_alias`` is
+        ``None`` (symmetric α), from the alias table otherwise.
+    """
+    count = token_offset.size
+    use_counts = rng.random(count) < mixture_weight
+    positions = token_offset + rng.integers(0, token_length)
+    if alpha_alias is None:
+        prior_topics = rng.integers(num_topics, size=count)
+    else:
+        prior_topics = alpha_alias.draw_many(count, rng)
+    return np.where(use_counts, source_assignments[positions], prior_topics)

@@ -1,0 +1,221 @@
+"""WarpLDA's two phases (Alg. 2) executed over slab buckets.
+
+The scalar implementation in :mod:`repro.core.warplda` vectorises the tokens
+*of one word* (or document) but still pays a Python-loop iteration per row —
+O(V) + O(D) interpreter steps per iteration.  The kernels here run the same
+computation for an entire length bucket at once:
+
+* gather the bucket's current assignments into an ``(R, L)`` matrix,
+* rebuild every row's count vector ``c_w`` / ``c_d`` with one masked
+  ``bincount`` (the on-the-fly count computation of Sec. 4.2),
+* run the ``M``-step MH accept/reject chain of Eq. (7) as broadcast
+  arithmetic over the whole matrix,
+* recompute the fresh counts and draw the next phase's ``M`` proposals
+  (Sec. 4.3: random positioning + prior mixture, or an exact draw from
+  ``C_rk + prior`` via a batched inverse-CDF pass).
+
+Because WarpLDA's counts are **delayed** for the duration of a phase, no
+row's chain observes another row's in-phase updates — rows are independent
+given the frozen global ``c_k`` — so slab-parallel execution produces a chain
+with *identical* per-row transition kernels to the scalar path (only the
+order in which the shared RNG stream is consumed differs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.kernels.buckets import MAX_SLAB_CELLS, SlabBucket
+from repro.kernels.draws import row_categorical_matrix
+from repro.sampling.alias import AliasTable
+
+__all__ = ["document_phase", "word_phase"]
+
+
+def _chunk_rows(num_topics: int) -> int:
+    """Row cap keeping each chunk's ``R x K`` histograms within budget."""
+    return max(1, MAX_SLAB_CELLS // max(1, num_topics))
+
+
+def _row_counts(
+    current: np.ndarray, mask: np.ndarray, num_topics: int
+) -> np.ndarray:
+    """Per-row topic histograms of an ``(R, L)`` assignment matrix."""
+    num_rows = current.shape[0]
+    keyed = current + np.arange(num_rows)[:, None] * num_topics
+    counts = np.bincount(keyed[mask], minlength=num_rows * num_topics)
+    return counts.reshape(num_rows, num_topics).astype(np.float64)
+
+
+def _run_chain(
+    current: np.ndarray,
+    proposals: np.ndarray,
+    tokens: np.ndarray,
+    mask: np.ndarray,
+    row_counts: np.ndarray,
+    row_prior_current: np.ndarray,
+    stale_topic_counts: np.ndarray,
+    beta_sum: float,
+    num_mh_steps: int,
+    rng: np.random.Generator,
+    prior_proposed_of=None,
+) -> np.ndarray:
+    """Accept/reject the ``M`` stored proposals for one bucket chunk.
+
+    Implements Eq. (7): ``π = min{1, (C_rt + prior_t)(C_s + β̄) /
+    ((C_rs + prior_s)(C_t + β̄))}`` with ``C_r`` the row's delayed counts and
+    ``C`` the phase-frozen global topic counts.  ``row_prior_current`` is the
+    prior term already gathered at the current assignments;
+    ``prior_proposed_of`` maps a proposed-topic matrix to its prior term (a
+    constant β for the word phase, ``α[topic]`` for the document phase).
+    """
+    rows = np.arange(current.shape[0])[:, None]
+    uniforms = rng.random((num_mh_steps,) + current.shape)
+    for step in range(num_mh_steps):
+        proposed = proposals[step][tokens]
+        prior_proposed = prior_proposed_of(proposed)
+        ratio = (
+            (row_counts[rows, proposed] + prior_proposed)
+            * (stale_topic_counts[current] + beta_sum)
+        ) / (
+            (row_counts[rows, current] + row_prior_current)
+            * (stale_topic_counts[proposed] + beta_sum)
+        )
+        accept = mask & (uniforms[step] < ratio)
+        current = np.where(accept, proposed, current)
+        if not np.isscalar(row_prior_current):
+            row_prior_current = np.where(accept, prior_proposed, row_prior_current)
+    return current
+
+
+def word_phase(
+    assignments: np.ndarray,
+    proposals: np.ndarray,
+    buckets: List[SlabBucket],
+    stale_topic_counts: np.ndarray,
+    num_topics: int,
+    num_mh_steps: int,
+    beta: float,
+    beta_sum: float,
+    rng: np.random.Generator,
+    exact_word_proposal: bool = False,
+    external_word_topic: Optional[np.ndarray] = None,
+) -> None:
+    """Word phase over word-axis buckets: accept doc proposals, draw word proposals.
+
+    Mutates ``assignments`` and ``proposals`` in place.  ``stale_topic_counts``
+    is the phase-frozen global ``c_k`` (float64, external shard counts already
+    added).  ``exact_word_proposal`` selects the Sec. 4.3 alias strategy —
+    an exact batched draw from ``q_word(k) ∝ C_wk + β`` — which is also forced
+    whenever frozen ``external_word_topic`` counts are installed (random
+    positioning cannot reach the other shards' tokens).
+    """
+    exact = exact_word_proposal or external_word_topic is not None
+    max_rows = _chunk_rows(num_topics)
+    for bucket in buckets:
+        for chunk in bucket.chunks(max_rows=max_rows):
+            tokens, mask, lengths = chunk.tokens, chunk.mask, chunk.lengths
+            current = assignments[tokens]
+            word_counts = _row_counts(current, mask, num_topics)
+            if external_word_topic is not None:
+                word_counts += external_word_topic[chunk.rows]
+
+            current = _run_chain(
+                current,
+                proposals,
+                tokens,
+                mask,
+                word_counts,
+                beta,
+                stale_topic_counts,
+                beta_sum,
+                num_mh_steps,
+                rng,
+                prior_proposed_of=lambda proposed: beta,
+            )
+            assignments[tokens[mask]] = current[mask]
+
+            # Fresh c_w for the proposal distribution (Alg. 2 recomputes it
+            # after the chain, before drawing q_word).
+            flat_tokens = tokens[mask]
+            if exact:
+                fresh = _row_counts(current, mask, num_topics)
+                if external_word_topic is not None:
+                    fresh += external_word_topic[chunk.rows]
+                # One batched draw covers all M steps, so the per-row CDF is
+                # prepared once instead of once per step.
+                slab_len = chunk.slab_len
+                drawn = row_categorical_matrix(
+                    fresh + beta, slab_len * num_mh_steps, rng
+                )
+                for step in range(num_mh_steps):
+                    block = drawn[:, step * slab_len : (step + 1) * slab_len]
+                    proposals[step, flat_tokens] = block[mask]
+            else:
+                word_weight = (lengths / (lengths + num_topics * beta))[:, None]
+                for step in range(num_mh_steps):
+                    use_counts = rng.random(current.shape) < word_weight
+                    positions = rng.integers(0, lengths[:, None], size=current.shape)
+                    positioned = np.take_along_axis(current, positions, axis=1)
+                    uniform = rng.integers(num_topics, size=current.shape)
+                    drawn = np.where(use_counts, positioned, uniform)
+                    proposals[step, flat_tokens] = drawn[mask]
+
+
+def document_phase(
+    assignments: np.ndarray,
+    proposals: np.ndarray,
+    buckets: List[SlabBucket],
+    stale_topic_counts: np.ndarray,
+    alpha: np.ndarray,
+    alpha_sum: float,
+    num_topics: int,
+    num_mh_steps: int,
+    beta_sum: float,
+    rng: np.random.Generator,
+    alpha_alias: Optional[AliasTable] = None,
+) -> None:
+    """Document phase over doc-axis buckets: accept word proposals, draw doc proposals.
+
+    Symmetric to :func:`word_phase` with the document prior α in place of β;
+    ``alpha_alias`` supplies the prior component of the mixture draw when α is
+    asymmetric (``None`` means symmetric α, i.e. a uniform prior draw).
+    """
+    max_rows = _chunk_rows(num_topics)
+    for bucket in buckets:
+        for chunk in bucket.chunks(max_rows=max_rows):
+            tokens, mask, lengths = chunk.tokens, chunk.mask, chunk.lengths
+            current = assignments[tokens]
+            doc_counts = _row_counts(current, mask, num_topics)
+
+            current = _run_chain(
+                current,
+                proposals,
+                tokens,
+                mask,
+                doc_counts,
+                alpha[current],
+                stale_topic_counts,
+                beta_sum,
+                num_mh_steps,
+                rng,
+                prior_proposed_of=lambda proposed: alpha[proposed],
+            )
+            assignments[tokens[mask]] = current[mask]
+
+            flat_tokens = tokens[mask]
+            doc_weight = (lengths / (lengths + alpha_sum))[:, None]
+            for step in range(num_mh_steps):
+                use_counts = rng.random(current.shape) < doc_weight
+                positions = rng.integers(0, lengths[:, None], size=current.shape)
+                positioned = np.take_along_axis(current, positions, axis=1)
+                if alpha_alias is None:
+                    prior = rng.integers(num_topics, size=current.shape)
+                else:
+                    prior = alpha_alias.draw_many(current.size, rng).reshape(
+                        current.shape
+                    )
+                drawn = np.where(use_counts, positioned, prior)
+                proposals[step, flat_tokens] = drawn[mask]

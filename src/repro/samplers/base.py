@@ -218,10 +218,20 @@ class LDASampler(abc.ABC):
     seed:
         Seed or generator controlling both the initial assignment and the
         sampling trajectory.
+    kernel:
+        Execution path: one of the class's :attr:`KERNELS`.  ``None`` picks
+        :attr:`DEFAULT_KERNEL`.  Samplers with a vectorised path in
+        :mod:`repro.kernels` accept ``"slab"`` (their default) and keep the
+        legacy per-token loop behind ``"scalar"`` as the correctness oracle;
+        the rest only accept ``"scalar"``.
     """
 
     #: Human-readable algorithm name used in benchmark tables.
     name: str = "lda"
+    #: Execution paths this sampler implements.
+    KERNELS: tuple = ("scalar",)
+    #: Path chosen when ``kernel=None``.
+    DEFAULT_KERNEL: str = "scalar"
 
     def __init__(
         self,
@@ -230,12 +240,21 @@ class LDASampler(abc.ABC):
         alpha: Optional[Union[float, np.ndarray]] = None,
         beta: float = 0.01,
         seed: RngLike = None,
+        kernel: Optional[str] = None,
     ):
         self.corpus = corpus
         self.num_topics = int(num_topics)
         self.alpha, self.alpha_sum, self.beta, self.beta_sum = resolve_hyperparameters(
             num_topics, alpha, beta, corpus.vocabulary_size
         )
+        if kernel is None:
+            kernel = type(self).DEFAULT_KERNEL
+        if kernel not in type(self).KERNELS:
+            raise ValueError(
+                f"{type(self).__name__} kernel must be one of "
+                f"{type(self).KERNELS}, got {kernel!r}"
+            )
+        self.kernel = kernel
         self.rng = ensure_rng(seed)
         self.state = TopicState(corpus, num_topics, rng=self.rng)
         self.iterations_completed = 0

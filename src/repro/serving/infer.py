@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.kernels.proposals import positioning_mixture_proposal, token_layout
 from repro.sampling.alias import AliasTable
 from repro.sampling.rng import RngLike, ensure_rng
 from repro.serving.snapshot import ModelSnapshot
@@ -224,14 +225,10 @@ def mh_fold_in(
         return theta
 
     # Flatten the non-empty documents into one mini-corpus (CSR layout), the
-    # same token-major form the training passes stream over.
+    # same token-major form the training kernels stream over; the layout and
+    # the Sec. 4.3 mixture proposal come from the shared kernel layer.
     flat_words = np.concatenate([documents[i] for i in nonempty])
-    flat_lengths = lengths[nonempty]
-    offsets = np.zeros(nonempty.size + 1, dtype=np.int64)
-    np.cumsum(flat_lengths, out=offsets[1:])
-    token_doc = np.repeat(np.arange(nonempty.size, dtype=np.int64), flat_lengths)
-    token_offset = offsets[token_doc]
-    token_length = flat_lengths[token_doc]
+    _, token_doc, token_offset, token_length = token_layout(lengths[nonempty])
     num_flat_tokens = flat_words.size
 
     alpha_symmetric = bool(np.allclose(alpha, alpha[0]))
@@ -246,13 +243,15 @@ def mh_fold_in(
 
     for _ in range(num_sweeps):
         for _ in range(num_mh_steps):
-            use_counts = rng.random(num_flat_tokens) < doc_weight
-            positions = token_offset + rng.integers(0, token_length)
-            if alpha_symmetric:
-                prior_topics = rng.integers(num_topics, size=num_flat_tokens)
-            else:
-                prior_topics = alpha_alias.draw_many(num_flat_tokens, rng)
-            proposed = np.where(use_counts, assignments[positions], prior_topics)
+            proposed = positioning_mixture_proposal(
+                assignments,
+                token_offset,
+                token_length,
+                doc_weight,
+                num_topics,
+                rng,
+                alpha_alias=alpha_alias,
+            )
             proposed_logp = log_phi[proposed, flat_words]
             accept = np.log(rng.random(num_flat_tokens)) < proposed_logp - current_logp
             assignments = np.where(accept, proposed, assignments)

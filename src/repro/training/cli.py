@@ -79,6 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
     model.add_argument("--alpha", type=float, default=None, help="doc Dirichlet (50/K)")
     model.add_argument("--beta", type=float, default=0.01, help="word Dirichlet")
     model.add_argument("--mh-steps", type=int, default=2, help="MH proposals per token")
+    model.add_argument(
+        "--kernel",
+        choices=("slab", "scalar"),
+        default="slab",
+        help="execution path: vectorized slab kernels or the legacy scalar loops",
+    )
 
     run = parser.add_argument_group("run")
     run.add_argument("--workers", type=int, default=2, help="worker processes")
@@ -142,6 +148,7 @@ _RESUME_IGNORED_FLAGS = (
     ("beta", "beta"),
     ("mh_steps", "num_mh_steps"),
     ("iters_per_epoch", "iterations_per_epoch"),
+    ("kernel", "kernel"),
 )
 
 
@@ -199,6 +206,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             beta=args.beta,
             num_mh_steps=args.mh_steps,
             iterations_per_epoch=args.iters_per_epoch,
+            kernel=args.kernel,
         )
         trainer = ParallelTrainer(
             corpus,

@@ -83,6 +83,11 @@ class TrainerConfig:
         Full sweeps every worker runs between two merge barriers.  1 keeps
         the external counts at most one iteration stale (the serial sampler's
         own delay); larger values trade staleness for fewer barriers.
+    kernel:
+        Execution path for every shard's sampler: ``"slab"`` (the vectorised
+        kernels of :mod:`repro.kernels`, the default) or ``"scalar"`` (the
+        legacy per-row loops).  Samplers without a slab path fall back to
+        scalar automatically.
     """
 
     sampler: str = "warplda"
@@ -91,6 +96,7 @@ class TrainerConfig:
     beta: float = 0.01
     num_mh_steps: int = 2
     iterations_per_epoch: int = 1
+    kernel: str = "slab"
 
     def __post_init__(self) -> None:
         if self.sampler not in SAMPLER_REGISTRY:
@@ -110,6 +116,10 @@ class TrainerConfig:
             raise ValueError(
                 f"iterations_per_epoch must be positive, got {self.iterations_per_epoch}"
             )
+        if self.kernel not in ("slab", "scalar"):
+            raise ValueError(
+                f"kernel must be 'slab' or 'scalar', got {self.kernel!r}"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible form (checkpoint sidecars)."""
@@ -117,7 +127,15 @@ class TrainerConfig:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "TrainerConfig":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Checkpoints written before the kernel layer existed carry no
+        ``kernel`` key; they must resume on the scalar path they were
+        trained with (the slab default would silently change the RNG
+        trajectory of a bit-exact resume).
+        """
+        if "kernel" not in data:
+            data = {**data, "kernel": "scalar"}
         return cls(**data)
 
 
@@ -139,25 +157,21 @@ class ShardRunner:
                 num_mh_steps=config.num_mh_steps,
                 alpha=config.alpha,
                 beta=config.beta,
+                kernel=config.kernel,
                 seed=rng,
-            )
-        elif sampler_cls is LightLDASampler:
-            self.sampler = sampler_cls(
-                shard,
-                config.num_topics,
-                alpha=config.alpha,
-                beta=config.beta,
-                seed=rng,
-                num_mh_steps=config.num_mh_steps,
             )
         else:
-            self.sampler = sampler_cls(
-                shard,
-                config.num_topics,
-                alpha=config.alpha,
-                beta=config.beta,
-                seed=rng,
-            )
+            # Samplers without a vectorised path only accept "scalar".
+            kernel = config.kernel if config.kernel in sampler_cls.KERNELS else "scalar"
+            kwargs: Dict[str, Any] = {
+                "alpha": config.alpha,
+                "beta": config.beta,
+                "seed": rng,
+                "kernel": kernel,
+            }
+            if sampler_cls is LightLDASampler:
+                kwargs["num_mh_steps"] = config.num_mh_steps
+            self.sampler = sampler_cls(shard, config.num_topics, **kwargs)
         self._is_warp = isinstance(self.sampler, WarpLDA)
         # The shard's contribution only changes while sampling, so it is
         # computed once per barrier and reused for the next epoch's external

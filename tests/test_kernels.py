@@ -1,0 +1,143 @@
+"""Unit tests for the bucketed slab kernel layer (repro.kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import Corpus, SyntheticCorpusSpec, generate_lda_corpus
+from repro.kernels import (
+    build_buckets,
+    corpus_buckets,
+    positioning_mixture_proposal,
+    row_categorical_draw,
+    row_categorical_matrix,
+    table_categorical_draws,
+    token_layout,
+)
+from repro.kernels.draws import prepare_table
+
+
+@pytest.fixture
+def corpus():
+    spec = SyntheticCorpusSpec(
+        num_documents=40, vocabulary_size=80, mean_document_length=30, num_topics=4
+    )
+    return generate_lda_corpus(spec, rng=3)
+
+
+class TestBuckets:
+    @pytest.mark.parametrize("axis", ["word", "doc"])
+    def test_every_token_covered_exactly_once(self, corpus, axis):
+        buckets = corpus_buckets(corpus, axis)
+        covered = np.concatenate([b.tokens[b.mask] for b in buckets])
+        assert covered.size == corpus.num_tokens
+        np.testing.assert_array_equal(np.sort(covered), np.arange(corpus.num_tokens))
+
+    def test_rows_match_axis_ids(self, corpus):
+        word_buckets = corpus_buckets(corpus, "word")
+        frequencies = corpus.word_frequencies()
+        seen_rows = np.concatenate([b.rows for b in word_buckets])
+        np.testing.assert_array_equal(np.sort(seen_rows), np.flatnonzero(frequencies))
+        for bucket in word_buckets:
+            np.testing.assert_array_equal(bucket.lengths, frequencies[bucket.rows])
+
+    def test_rows_group_their_own_tokens(self, corpus):
+        for bucket in corpus_buckets(corpus, "word"):
+            words_of_tokens = corpus.token_words[bucket.tokens]
+            expected = np.broadcast_to(
+                bucket.rows[:, None], words_of_tokens.shape
+            )
+            np.testing.assert_array_equal(
+                words_of_tokens[bucket.mask], expected[bucket.mask]
+            )
+
+    def test_padding_is_power_of_two_and_masked(self, corpus):
+        for bucket in corpus_buckets(corpus, "doc"):
+            slab_len = bucket.slab_len
+            assert slab_len & (slab_len - 1) == 0
+            assert bucket.lengths.max() <= slab_len
+            assert bucket.lengths.min() >= 1
+            np.testing.assert_array_equal(bucket.mask.sum(axis=1), bucket.lengths)
+
+    def test_cached_on_corpus_instance(self, corpus):
+        assert corpus_buckets(corpus, "word") is corpus_buckets(corpus, "word")
+        view = corpus.slice(0, 10)
+        assert corpus_buckets(view, "word") is not corpus_buckets(corpus, "word")
+
+    def test_chunks_partition_rows(self, corpus):
+        for bucket in corpus_buckets(corpus, "doc"):
+            chunks = list(bucket.chunks(max_cells=64))
+            assert sum(c.num_rows for c in chunks) == bucket.num_rows
+            rejoined = np.concatenate([c.rows for c in chunks])
+            np.testing.assert_array_equal(rejoined, bucket.rows)
+
+    def test_empty_rows_dropped(self):
+        # Document 1 is empty; its row must not appear in any bucket.
+        corpus = Corpus.from_token_lists([[0, 1, 2], [], [1, 1]])
+        buckets = build_buckets(corpus.doc_offsets)
+        rows = np.concatenate([b.rows for b in buckets])
+        assert 1 not in rows
+        covered = np.concatenate([b.tokens[b.mask] for b in buckets])
+        np.testing.assert_array_equal(np.sort(covered), np.arange(corpus.num_tokens))
+
+
+class TestDraws:
+    def test_row_draw_matches_searchsorted_semantics(self):
+        weights = np.array([[1.0, 0.0, 3.0], [2.0, 2.0, 0.0]])
+        rng = np.random.default_rng(0)
+        draws = row_categorical_draw(np.tile(weights, (5000, 1)), rng)
+        frequencies = np.bincount(draws[0::2], minlength=3) / 5000
+        np.testing.assert_allclose(frequencies, [0.25, 0.0, 0.75], atol=0.03)
+        frequencies = np.bincount(draws[1::2], minlength=3) / 5000
+        np.testing.assert_allclose(frequencies, [0.5, 0.5, 0.0], atol=0.03)
+
+    def test_row_matrix_draw_distribution(self):
+        rng = np.random.default_rng(1)
+        draws = row_categorical_matrix(np.array([[1.0, 1.0, 2.0]]), 40000, rng)
+        frequencies = np.bincount(draws.ravel(), minlength=3) / 40000
+        np.testing.assert_allclose(frequencies, [0.25, 0.25, 0.5], atol=0.02)
+
+    def test_row_matrix_respects_rows(self):
+        rng = np.random.default_rng(2)
+        weights = np.array([[1.0, 0.0], [0.0, 1.0]])
+        draws = row_categorical_matrix(weights, 100, rng)
+        assert (draws[0] == 0).all()
+        assert (draws[1] == 1).all()
+
+    def test_table_draws_follow_row_ids(self):
+        rng = np.random.default_rng(3)
+        table = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        cdf = prepare_table(table)
+        row_ids = np.array([0] * 100 + [1] * 100 + [2] * 10000)
+        draws = table_categorical_draws(cdf, 2, row_ids, rng)
+        assert (draws[:100] == 0).all()
+        assert (draws[100:200] == 1).all()
+        frequency = np.mean(draws[200:])
+        assert abs(frequency - 0.5) < 0.03
+
+
+class TestProposals:
+    def test_token_layout(self):
+        offsets, token_row, token_offset, token_length = token_layout([2, 0, 3])
+        np.testing.assert_array_equal(offsets, [0, 2, 2, 5])
+        np.testing.assert_array_equal(token_row, [0, 0, 2, 2, 2])
+        np.testing.assert_array_equal(token_offset, [0, 0, 2, 2, 2])
+        np.testing.assert_array_equal(token_length, [2, 2, 3, 3, 3])
+
+    def test_pure_positioning_stays_in_row(self):
+        rng = np.random.default_rng(4)
+        _, _, token_offset, token_length = token_layout([3, 2])
+        source = np.array([7, 7, 7, 9, 9])
+        proposed = positioning_mixture_proposal(
+            source, token_offset, token_length, np.ones(5), 10, rng
+        )
+        np.testing.assert_array_equal(proposed, source)
+
+    def test_pure_prior_is_uniform(self):
+        rng = np.random.default_rng(5)
+        _, _, token_offset, token_length = token_layout([20000])
+        source = np.zeros(20000, dtype=np.int64)
+        proposed = positioning_mixture_proposal(
+            source, token_offset, token_length, np.zeros(20000), 4, rng
+        )
+        frequencies = np.bincount(proposed, minlength=4) / 20000
+        np.testing.assert_allclose(frequencies, 0.25, atol=0.02)
