@@ -1,0 +1,230 @@
+"""Streaming benchmark: ingest-to-servable latency and sustained throughput.
+
+Replays a synthetic corpus through the full streaming pipeline — mini-batch
+ingestion with online vocabulary growth, sliding-window online updates,
+registry publishes and a hot-swapping :class:`~repro.serving.TopicServer`
+answering queries between batches — and records the two numbers the
+subsystem exists to optimise:
+
+* **ingest-to-servable latency** — wall-clock from a mini-batch entering the
+  pipeline to a server answering queries with a model that has seen it
+  (p50/p95 over all publishing batches);
+* **sustained throughput** — documents and tokens ingested per second over
+  the whole replay, training included.
+
+Results land in ``BENCH_streaming.json`` at the repository root.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py
+
+or quickly on a tiny corpus (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.corpus import SyntheticCorpusSpec, generate_lda_corpus
+from repro.serving import TopicServer
+from repro.streaming import (
+    DocumentStream,
+    ModelRegistry,
+    OnlineTrainer,
+    OnlineTrainerConfig,
+    StreamingPipeline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Queries fired at the hot server after every ingested batch.
+QUERIES_PER_BATCH = 16
+
+
+def run_streaming_bench(
+    num_documents: int,
+    vocabulary_size: int,
+    mean_length: int,
+    num_topics: int,
+    batch_docs: int,
+    window_docs: int,
+    sweeps_per_batch: int,
+    decay: float,
+    publish_every: int,
+    seed: int,
+    sampler: str = "warplda",
+) -> Dict:
+    """Replay one synthetic stream end to end; returns the measured record."""
+    spec = SyntheticCorpusSpec(
+        num_documents=num_documents,
+        vocabulary_size=vocabulary_size,
+        mean_document_length=mean_length,
+        num_topics=num_topics,
+    )
+    corpus = generate_lda_corpus(spec, rng=seed)
+    rng = np.random.default_rng(seed)
+
+    # WarpLDA by default: it is the paper's sampler and its slab phases run
+    # over the corpus bucket cache, so the replay also exercises (and counts)
+    # the incremental bucket maintenance of StreamingCorpus.append.
+    config = OnlineTrainerConfig(
+        num_topics=num_topics,
+        sampler=sampler,
+        window_docs=window_docs,
+        sweeps_per_batch=sweeps_per_batch,
+        decay=decay,
+    )
+    trainer = OnlineTrainer(config=config, seed=seed)
+    registry = ModelRegistry(retain=3)
+    pipeline = StreamingPipeline(trainer, registry, publish_every=publish_every)
+    stream = DocumentStream(trainer.corpus.vocabulary, batch_docs=batch_docs)
+
+    vocabulary = corpus.vocabulary
+    raw_documents = [
+        [vocabulary.word(w) for w in corpus.document_words(d)]
+        for d in range(corpus.num_documents)
+    ]
+
+    server: Optional[TopicServer] = None
+    servable_latencies: List[float] = []
+    versions_published = 0
+    started = time.perf_counter()
+    for batch in stream.batches(raw_documents):
+        report = pipeline.ingest(batch)
+        if report.published is not None:
+            versions_published += 1
+        if report.ingest_to_servable_seconds is not None:
+            servable_latencies.append(report.ingest_to_servable_seconds)
+        if report.published is not None and server is None:
+            # First publish: bring up a hot-swapping server mid-stream.
+            server = TopicServer.from_registry(registry, seed=seed)
+            pipeline.server = server
+        if server is not None:
+            # Serve live traffic between batches (hot-swap happens here too).
+            queries = [
+                raw_documents[int(rng.integers(len(raw_documents)))]
+                for _ in range(QUERIES_PER_BATCH)
+            ]
+            server.infer_batch(queries)
+    elapsed = time.perf_counter() - started
+
+    if server is None or not servable_latencies:
+        # The server comes up after the first publish, so measuring
+        # ingest-to-servable latency needs at least two publishing batches.
+        raise RuntimeError(
+            f"fewer than two publishes in {trainer.batches_ingested} batches "
+            f"(publish_every={publish_every}) — no ingest-to-servable latency "
+            f"to measure; lower publish_every or stream more documents"
+        )
+    stats = server.stats()
+    latencies_ms = np.asarray(servable_latencies) * 1e3
+    return {
+        "corpus": {
+            "documents": corpus.num_documents,
+            "tokens": corpus.num_tokens,
+            "vocabulary": corpus.vocabulary_size,
+        },
+        "config": {
+            **config.to_dict(),
+            "batch_docs": batch_docs,
+            "publish_every": publish_every,
+            "seed": seed,
+        },
+        "results": {
+            "elapsed_seconds": round(elapsed, 4),
+            "docs_per_sec": round(trainer.documents_ingested / elapsed, 1),
+            "tokens_per_sec": round(trainer.tokens_ingested / elapsed, 1),
+            "batches": trainer.batches_ingested,
+            "train_seconds": round(trainer.train_seconds, 4),
+            "ingest_to_servable_ms": {
+                "p50": round(float(np.percentile(latencies_ms, 50)), 3),
+                "p95": round(float(np.percentile(latencies_ms, 95)), 3),
+                "max": round(float(latencies_ms.max()), 3),
+            },
+            "versions_published": versions_published,
+            "versions_retained": registry.versions(),
+            "hot_swaps": stats.hot_swaps,
+            "served_version": stats.served_version,
+            "server_requests": stats.requests,
+            "final_vocabulary": trainer.corpus.vocabulary_size,
+            "bucket_reuses": dict(trainer.corpus.bucket_reuses),
+            "bucket_rebuilds": dict(trainer.corpus.bucket_rebuilds),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny corpus (CI)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_streaming.json",
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        record = run_streaming_bench(
+            num_documents=120,
+            vocabulary_size=300,
+            mean_length=30,
+            num_topics=5,
+            batch_docs=24,
+            window_docs=96,
+            sweeps_per_batch=2,
+            decay=0.995,
+            publish_every=1,
+            seed=args.seed,
+        )
+    else:
+        record = run_streaming_bench(
+            num_documents=4000,
+            vocabulary_size=5000,
+            mean_length=60,
+            num_topics=20,
+            batch_docs=128,
+            window_docs=1024,
+            sweeps_per_batch=2,
+            decay=0.999,
+            publish_every=2,
+            seed=args.seed,
+        )
+
+    payload = {
+        "benchmark": "streaming",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "smoke": args.smoke,
+        **record,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    results = record["results"]
+    pct = results["ingest_to_servable_ms"]
+    print(
+        f"streamed {record['corpus']['documents']} docs "
+        f"({record['corpus']['tokens']} tokens) in {results['elapsed_seconds']}s: "
+        f"{results['docs_per_sec']} docs/s, {results['tokens_per_sec']} tokens/s"
+    )
+    print(
+        f"ingest-to-servable p50 {pct['p50']} ms, p95 {pct['p95']} ms "
+        f"(max {pct['max']} ms); {results['versions_published']} versions, "
+        f"{results['hot_swaps']} hot swaps, served v{results['served_version']}"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,21 +38,38 @@ Subpackages
     Multiprocess data-parallel training: document sharding, epoch-barrier
     count merging, resumable checkpoints and the ``python -m repro.train``
     command line.
+``repro.streaming``
+    Streaming ingestion and online training: mini-batch document streams,
+    a growable corpus with incremental kernel-cache maintenance, sliding-
+    window online updates with count decay, a versioned model registry and
+    hot-swap serving (``python -m repro.train --stream``).
 """
 
 from repro.core.warplda import WarpLDA, WarpLDAConfig
 from repro.corpus.corpus import Corpus, Document
 from repro.corpus.vocabulary import Vocabulary
 from repro.serving import InferenceEngine, ModelSnapshot, TopicServer
+from repro.streaming import (
+    DocumentStream,
+    ModelRegistry,
+    OnlineTrainer,
+    StreamingCorpus,
+    StreamingPipeline,
+)
 from repro.training import Checkpoint, ParallelTrainer, TrainerConfig
 
 __all__ = [
     "Checkpoint",
     "Corpus",
     "Document",
+    "DocumentStream",
     "InferenceEngine",
+    "ModelRegistry",
     "ModelSnapshot",
+    "OnlineTrainer",
     "ParallelTrainer",
+    "StreamingCorpus",
+    "StreamingPipeline",
     "TopicServer",
     "TrainerConfig",
     "Vocabulary",

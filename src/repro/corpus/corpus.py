@@ -234,9 +234,12 @@ class Corpus:
         NumPy view, no concatenation), so slicing a corpus into contiguous
         shards — the layout used by data-parallel training — costs O(tokens in
         the slice) for the derived indices only.  The slice may contain only
-        empty documents (zero tokens); samplers must tolerate that.
+        empty documents (zero tokens), or no documents at all (``start ==
+        stop``, which the streaming appender hits for an empty window);
+        samplers must tolerate the former, and nothing may be trained on the
+        latter.
         """
-        if not 0 <= start < stop <= self.num_documents:
+        if not 0 <= start <= stop <= self.num_documents:
             raise IndexError(
                 f"invalid document range [{start}, {stop}) for corpus with "
                 f"{self.num_documents} documents"

@@ -65,7 +65,11 @@ class Vocabulary:
         if existing is not None:
             return existing
         if self._frozen:
-            raise KeyError(f"vocabulary is frozen and does not contain {word!r}")
+            raise KeyError(
+                f"vocabulary is frozen: cannot add new word {word!r} "
+                f"(size stays {self.size}; encode unseen text with "
+                f"on_oov='drop' instead)"
+            )
         new_id = len(self._id_to_word)
         self._word_to_id[word] = new_id
         self._id_to_word.append(word)
@@ -95,17 +99,38 @@ class Vocabulary:
         on_oov:
             ``"drop"`` (default) silently skips unknown tokens — the standard
             behaviour when folding unseen documents into a frozen model —
-            while ``"error"`` raises :class:`KeyError` on the first one.
+            while ``"error"`` raises :class:`KeyError` on the first one and
+            ``"add"`` grows the vocabulary with every unseen token (streaming
+            ingestion).  ``"add"`` requires an unfrozen vocabulary and fails
+            fast otherwise, even when every token happens to be known.
 
         Returns
         -------
         numpy.ndarray
-            The ids of the known tokens, in document order (``int64``).
+            The ids of the tokens, in document order (``int64``).
+
+        Notes
+        -----
+        Ids are append-only: encoding with ``on_oov="add"`` never renumbers
+        an existing word, so ids handed out before a snapshot export remain
+        valid against the exported (prefix) vocabulary — any id ``>=
+        snapshot.vocabulary_size`` is simply a word the snapshot has never
+        seen.
         """
-        if on_oov not in ("drop", "error"):
-            raise ValueError(f"on_oov must be 'drop' or 'error', got {on_oov!r}")
+        if on_oov not in ("drop", "error", "add"):
+            raise ValueError(
+                f"on_oov must be 'drop', 'error' or 'add', got {on_oov!r}"
+            )
         mapping = self._word_to_id
-        if on_oov == "error":
+        if on_oov == "add":
+            if self._frozen:
+                raise ValueError(
+                    "on_oov='add' requires an unfrozen vocabulary; this one "
+                    "is frozen (use on_oov='drop' to serve against a frozen "
+                    "snapshot vocabulary)"
+                )
+            ids = [self.add(token) for token in tokens]
+        elif on_oov == "error":
             try:
                 ids = [mapping[token] for token in tokens]
             except KeyError as exc:

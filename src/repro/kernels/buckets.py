@@ -91,7 +91,9 @@ class SlabBucket:
 
 
 def build_buckets(
-    offsets: np.ndarray, order: Optional[np.ndarray] = None
+    offsets: np.ndarray,
+    order: Optional[np.ndarray] = None,
+    rows: Optional[np.ndarray] = None,
 ) -> List[SlabBucket]:
     """Bucket the rows described by CSR/CSC ``offsets`` into padded slabs.
 
@@ -104,6 +106,10 @@ def build_buckets(
         Optional permutation mapping positions to flat token indices (the
         corpus ``word_order`` for the word axis); ``None`` means positions
         *are* token indices (the document axis).
+    rows:
+        Optional subset of row ids to bucket; ``None`` buckets every row.
+        The streaming corpus uses this to rebuild only the rows an append
+        actually touched.
 
     Returns
     -------
@@ -113,7 +119,11 @@ def build_buckets(
     """
     offsets = np.asarray(offsets, dtype=np.int64)
     lengths = np.diff(offsets)
-    nonempty = np.flatnonzero(lengths)
+    if rows is None:
+        nonempty = np.flatnonzero(lengths)
+    else:
+        rows = np.asarray(rows, dtype=np.int64)
+        nonempty = rows[lengths[rows] > 0]
     buckets: List[SlabBucket] = []
     if nonempty.size == 0:
         return buckets

@@ -55,7 +55,10 @@ class AliasTable:
         self._n = n
         self._total = total
         # Scaled so that the average bin holds exactly probability 1.
-        scaled = weights * (n / total)
+        # Normalise *before* multiplying by n: with a subnormal total,
+        # ``n / total`` overflows to inf and ``0 * inf`` poisons the table
+        # with NaNs, while ``weights / total`` is always finite.
+        scaled = (weights / total) * n
         prob = np.ones(n, dtype=np.float64)
         alias = np.arange(n, dtype=np.int64)
 

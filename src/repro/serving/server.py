@@ -17,6 +17,12 @@ Three production mechanisms sit between a request and the
 * **Observability** — per-request latencies and batch sizes are recorded and
   summarised as throughput plus p50/p95/p99 latency percentiles in
   :meth:`TopicServer.stats`.
+* **Hot-swap serving** — :meth:`TopicServer.attach_registry` subscribes the
+  server to a :class:`~repro.streaming.registry.ModelRegistry`.  When the
+  registry's current version moves, the server swaps in a fresh engine over
+  the new snapshot *between micro-batches*: a dispatched micro-batch always
+  finishes against the snapshot it started with, the result cache (keyed on
+  the old model's θ) is dropped, and requests keep flowing throughout.
 """
 
 from __future__ import annotations
@@ -63,6 +69,10 @@ class LRUCache:
         if capacity < 0:
             raise ValueError(f"capacity must be non-negative, got {capacity}")
         self.capacity = int(capacity)
+        #: Entries dropped because the cache was full (cleared resets count
+        #: nothing — evictions are a lifetime counter, cache clears are not
+        #: evictions).
+        self.evictions = 0
         self._entries: "OrderedDict[BowKey, np.ndarray]" = OrderedDict()
 
     def __len__(self) -> int:
@@ -87,6 +97,7 @@ class LRUCache:
         self._entries[key] = value
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
 
     def clear(self) -> None:
         self._entries.clear()
@@ -108,6 +119,14 @@ class ServerStats:
     documents_inferred: int = 0
     tokens_inferred: int = 0
     inference_seconds: float = 0.0
+    #: Live cache occupancy and lifetime eviction count, synced from the
+    #: server's LRU cache by :meth:`TopicServer.stats`.
+    cache_size: int = 0
+    cache_evictions: int = 0
+    #: Registry hot-swaps performed, and the version currently served
+    #: (``None`` when no registry is attached or nothing is published).
+    hot_swaps: int = 0
+    served_version: Optional[int] = None
     #: Per-request wall-clock latencies in seconds (cache hits included),
     #: most recent :data:`LATENCY_WINDOW` requests only.  A request's latency
     #: is the duration of the serving call that answered it — under
@@ -137,7 +156,13 @@ class ServerStats:
         )
 
     def latency_percentiles(self) -> Dict[str, float]:
-        """p50/p95/p99 of the per-request latencies, in milliseconds."""
+        """p50/p95/p99 of the per-request latencies, in milliseconds.
+
+        Safe before any request has been served: with no recorded latencies
+        (zero requests, or a fresh :meth:`TopicServer.reset_stats`) every
+        percentile is reported as 0.0 instead of tripping ``np.percentile``
+        on an empty array.
+        """
         if not self.latencies:
             return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
         values = np.asarray(self.latencies) * 1e3
@@ -145,14 +170,30 @@ class ServerStats:
         return {"p50_ms": float(p50), "p95_ms": float(p95), "p99_ms": float(p99)}
 
     def summary(self) -> str:
-        """A one-block human-readable report."""
+        """A one-block human-readable report.
+
+        The model-version line only appears for registry-served models
+        (``served_version`` set); plain snapshot servers keep the original
+        report shape.
+        """
         pct = self.latency_percentiles()
+        version_lines = (
+            [
+                f"model version       {self.served_version} "
+                f"({self.hot_swaps} hot swaps)"
+            ]
+            if self.served_version is not None
+            else []
+        )
         return "\n".join(
             [
                 f"requests            {self.requests}",
                 f"cache hits          {self.cache_hits} "
                 f"({self.cache_hit_rate:.1%})",
+                f"cache               {self.cache_size} entries, "
+                f"{self.cache_evictions} evictions",
                 f"micro-batches       {self.batches}",
+                *version_lines,
                 f"documents inferred  {self.documents_inferred}",
                 f"tokens inferred     {self.tokens_inferred}",
                 f"throughput          {self.throughput_docs_per_s:.1f} docs/s, "
@@ -202,6 +243,87 @@ class TopicServer:
         self.cache = LRUCache(cache_capacity)
         self.stats_ = ServerStats()
         self._queue: List[np.ndarray] = []
+        self._registry = None
+        #: Registry version currently served (``None`` = the engine the
+        #: server was constructed with, or no registry attached).
+        self.served_version: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Registry hot-swap
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_registry(
+        cls,
+        registry,
+        strategy: str = "em",
+        num_iterations: int = 30,
+        num_mh_steps: int = 2,
+        seed=None,
+        **server_kwargs,
+    ) -> "TopicServer":
+        """Build a server over a registry's current version and follow it.
+
+        The registry must have at least one published version.
+        """
+        entry = registry.current()
+        if entry is None:
+            raise ValueError(
+                "registry has no published version; publish a snapshot first"
+            )
+        engine = InferenceEngine(
+            entry.snapshot,
+            strategy=strategy,
+            num_iterations=num_iterations,
+            num_mh_steps=num_mh_steps,
+            seed=seed,
+        )
+        server = cls(engine, **server_kwargs)
+        # The constructor engine *is* the current version: record it before
+        # attaching so adoption is not miscounted (or rebuilt) as a hot swap.
+        server.served_version = entry.version
+        server.attach_registry(registry)
+        return server
+
+    def attach_registry(self, registry) -> None:
+        """Follow ``registry``: serve its current version, swap as it moves.
+
+        The swap happens *between micro-batches* (checked at the start of
+        every serving call and between dispatched micro-batches within one
+        call), so a micro-batch that is already in flight always completes
+        against the snapshot it started with.  If nothing is published yet,
+        the server keeps its constructor engine until a version appears.
+        """
+        self._registry = registry
+        self.refresh()
+
+    def detach_registry(self) -> None:
+        """Stop following the registry; the current engine keeps serving."""
+        self._registry = None
+
+    def refresh(self) -> bool:
+        """Swap in the registry's current version if it moved; True if swapped.
+
+        Called automatically by the serving paths; call it directly to bound
+        the ingest-to-servable latency without waiting for the next request.
+        """
+        if self._registry is None:
+            return False
+        entry = self._registry.current()
+        if entry is None or entry.version == self.served_version:
+            return False
+        self.engine = InferenceEngine(
+            entry.snapshot,
+            strategy=self.engine.strategy,
+            num_iterations=self.engine.num_iterations,
+            num_mh_steps=self.engine.num_mh_steps,
+            seed=self.engine.rng,
+        )
+        # Cached θ rows were folded in under the old Φ; drop them (this is a
+        # model change, not a capacity eviction).
+        self.cache.clear()
+        self.served_version = entry.version
+        self.stats_.hot_swaps += 1
+        return True
 
     # ------------------------------------------------------------------ #
     # Request intake
@@ -242,7 +364,9 @@ class TopicServer:
     # Serving core
     # ------------------------------------------------------------------ #
     def _serve(self, documents: List[np.ndarray]) -> np.ndarray:
-        num_topics = self.engine.num_topics
+        self.refresh()
+        call_engine = self.engine
+        num_topics = call_engine.num_topics
         theta = np.zeros((len(documents), num_topics))
         if not documents:
             return theta
@@ -267,10 +391,37 @@ class TopicServer:
                 misses.append(row)
 
         for start in range(0, len(misses), self.max_batch_size):
+            if start:
+                # Between micro-batches is the hot-swap point: a new registry
+                # version published mid-call serves the remaining batches.
+                self.refresh()
+            # The dispatched micro-batch runs against one engine even if a
+            # swap lands while it is in flight.  A mid-call swap to a model
+            # with a *different topic count* cannot fill this call's θ rows:
+            # the rest of the call stays on the engine it started with (the
+            # swap still holds for future calls), and those rows are not
+            # cached — they would poison the new model's cache.
+            engine = self.engine
+            cacheable = engine.num_topics == num_topics
+            if not cacheable:
+                engine = call_engine
             batch_rows = misses[start : start + self.max_batch_size]
             batch_docs = [documents[row] for row in batch_rows]
+            if self._registry is not None:
+                # Registry-served models can move underneath a request: a
+                # rollback (or a request encoded just before a swap) may
+                # leave ids the dispatched snapshot has never seen.  Those
+                # words are out-of-vocabulary *for this model* — drop them,
+                # exactly like encode-time OOV handling, instead of letting
+                # the engine reject the whole batch.
+                vocab_size = engine.snapshot.vocabulary_size
+                batch_docs = [
+                    doc if doc.size == 0 or doc.max() < vocab_size
+                    else doc[doc < vocab_size]
+                    for doc in batch_docs
+                ]
             batch_started = time.perf_counter()
-            batch_theta = self.engine.infer_ids(batch_docs)
+            batch_theta = engine.infer_ids(batch_docs)
             elapsed = time.perf_counter() - batch_started
             self.stats_.batches += 1
             self.stats_.documents_inferred += len(batch_rows)
@@ -278,9 +429,10 @@ class TopicServer:
             self.stats_.inference_seconds += elapsed
             for row, theta_row in zip(batch_rows, batch_theta):
                 theta[row] = theta_row
-                cache_row = theta_row.copy()
-                cache_row.flags.writeable = False
-                self.cache.put(keys[row], cache_row)
+                if cacheable:
+                    cache_row = theta_row.copy()
+                    cache_row.flags.writeable = False
+                    self.cache.put(keys[row], cache_row)
 
         for row, source_row in duplicate_rows:
             theta[row] = theta[source_row]
@@ -293,7 +445,15 @@ class TopicServer:
 
     # ------------------------------------------------------------------ #
     def stats(self) -> ServerStats:
-        """The live statistics object (see :class:`ServerStats`)."""
+        """The live statistics object (see :class:`ServerStats`).
+
+        Cache occupancy, eviction count and the served registry version are
+        synced from their owners on every call, so the returned object is
+        always current.
+        """
+        self.stats_.cache_size = len(self.cache)
+        self.stats_.cache_evictions = self.cache.evictions
+        self.stats_.served_version = self.served_version
         return self.stats_
 
     def reset_stats(self) -> None:

@@ -1,0 +1,218 @@
+"""Mini-batch ingestion of raw documents into the streaming pipeline.
+
+:class:`DocumentStream` is the front door of :mod:`repro.streaming`: raw
+token sequences (strings) or pre-encoded word-id arrays are pushed one
+document at a time, encoded against a shared — and, with ``on_oov="add"``,
+*growing* — :class:`~repro.corpus.vocabulary.Vocabulary`, and handed onward
+as :class:`MiniBatch` objects of at most ``batch_docs`` documents.  The
+mini-batch is the unit everything downstream operates on: the streaming
+corpus appends one batch at a time, the online trainer folds one batch in
+per update, and the registry publish cadence is counted in batches.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.corpus.vocabulary import Vocabulary
+
+__all__ = ["DocumentStream", "MiniBatch", "StreamStats"]
+
+#: One raw request: tokens (strings) or word ids (ints / arrays).
+RawDocument = Union[np.ndarray, Sequence[int], Sequence[str]]
+
+
+@dataclass(frozen=True)
+class MiniBatch:
+    """One closed ingestion batch: encoded documents plus arrival metadata.
+
+    Attributes
+    ----------
+    documents:
+        Per-document word-id arrays (``int64``), already encoded against the
+        stream's vocabulary.  May contain empty documents (all tokens OOV
+        under ``on_oov="drop"``, or genuinely empty input).
+    doc_ids:
+        Optional external identifiers, aligned with ``documents``.
+    sequence:
+        Zero-based index of this batch within the stream.
+    closed_at:
+        ``time.perf_counter()`` timestamp at which the batch was closed —
+        the start of the ingest-to-servable latency clock.
+    oov_dropped:
+        Tokens dropped while encoding this batch (``on_oov="drop"`` only).
+    """
+
+    documents: List[np.ndarray]
+    doc_ids: List[Optional[str]]
+    sequence: int
+    closed_at: float
+    oov_dropped: int = 0
+
+    @property
+    def num_documents(self) -> int:
+        """Number of documents in the batch."""
+        return len(self.documents)
+
+    @property
+    def num_tokens(self) -> int:
+        """Total encoded tokens in the batch."""
+        return int(sum(doc.size for doc in self.documents))
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+
+@dataclass
+class StreamStats:
+    """Running totals over everything the stream has encoded."""
+
+    documents: int = 0
+    tokens: int = 0
+    oov_dropped: int = 0
+    batches: int = 0
+    words_added: int = 0
+
+    def summary(self) -> str:
+        """A one-line human-readable report."""
+        return (
+            f"{self.documents} documents / {self.tokens} tokens in "
+            f"{self.batches} batches ({self.words_added} new words, "
+            f"{self.oov_dropped} OOV dropped)"
+        )
+
+
+class DocumentStream:
+    """Encode raw documents against a shared vocabulary and emit mini-batches.
+
+    Parameters
+    ----------
+    vocabulary:
+        The vocabulary every document is encoded against.  With the default
+        ``on_oov="add"`` it grows as unseen words arrive (it must not be
+        frozen); with ``"drop"`` unseen words are silently discarded (the
+        right mode when replaying traffic against a frozen model).
+    batch_docs:
+        Number of documents per emitted :class:`MiniBatch`.
+    on_oov:
+        Vocabulary growth policy, forwarded to
+        :meth:`~repro.corpus.vocabulary.Vocabulary.encode`.
+
+    Examples
+    --------
+    >>> stream = DocumentStream(Vocabulary(), batch_docs=2)
+    >>> stream.push(["the", "cat"]) is None
+    True
+    >>> batch = stream.push(["the", "dog"])
+    >>> batch.num_documents
+    2
+    """
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        batch_docs: int = 64,
+        on_oov: str = "add",
+    ):
+        if batch_docs <= 0:
+            raise ValueError(f"batch_docs must be positive, got {batch_docs}")
+        if on_oov not in ("add", "drop", "error"):
+            raise ValueError(
+                f"on_oov must be 'add', 'drop' or 'error', got {on_oov!r}"
+            )
+        if on_oov == "add" and vocabulary.frozen:
+            raise ValueError(
+                "on_oov='add' requires an unfrozen vocabulary; encode "
+                "against a frozen snapshot vocabulary with on_oov='drop'"
+            )
+        self.vocabulary = vocabulary
+        self.batch_docs = int(batch_docs)
+        self.on_oov = on_oov
+        self.stats = StreamStats()
+        self._pending_docs: List[np.ndarray] = []
+        self._pending_ids: List[Optional[str]] = []
+        self._pending_dropped = 0
+        self._sequence = 0
+
+    # ------------------------------------------------------------------ #
+    def _encode(self, document: RawDocument) -> np.ndarray:
+        """Normalise one raw document to a word-id array."""
+        if isinstance(document, np.ndarray) and document.dtype != object:
+            ids = np.asarray(document, dtype=np.int64)
+            if ids.size and (ids.min() < 0 or ids.max() >= self.vocabulary.size):
+                raise ValueError(
+                    f"word ids must be in [0, {self.vocabulary.size}), got "
+                    f"range [{ids.min()}, {ids.max()}]"
+                )
+            return ids
+        items = list(document)
+        if any(isinstance(item, str) for item in items):
+            before = len(items)
+            ids = self.vocabulary.encode(items, on_oov=self.on_oov)
+            if self.on_oov == "drop":
+                self._pending_dropped += before - ids.size
+            return ids
+        return self._encode(np.asarray(items, dtype=np.int64))
+
+    def push(
+        self, document: RawDocument, doc_id: Optional[str] = None
+    ) -> Optional[MiniBatch]:
+        """Add one document; returns the closed batch once it fills."""
+        vocab_before = self.vocabulary.size
+        encoded = self._encode(document)
+        self.stats.words_added += self.vocabulary.size - vocab_before
+        self._pending_docs.append(encoded)
+        self._pending_ids.append(doc_id)
+        self.stats.documents += 1
+        self.stats.tokens += int(encoded.size)
+        if len(self._pending_docs) >= self.batch_docs:
+            return self.flush()
+        return None
+
+    def flush(self) -> Optional[MiniBatch]:
+        """Close and return the pending partial batch (``None`` if empty)."""
+        if not self._pending_docs:
+            return None
+        batch = MiniBatch(
+            documents=self._pending_docs,
+            doc_ids=self._pending_ids,
+            sequence=self._sequence,
+            closed_at=time.perf_counter(),
+            oov_dropped=self._pending_dropped,
+        )
+        self.stats.oov_dropped += self._pending_dropped
+        self.stats.batches += 1
+        self._pending_docs = []
+        self._pending_ids = []
+        self._pending_dropped = 0
+        self._sequence += 1
+        return batch
+
+    @property
+    def pending(self) -> int:
+        """Documents waiting for the current batch to fill."""
+        return len(self._pending_docs)
+
+    def batches(self, documents: Iterable[RawDocument]) -> Iterator[MiniBatch]:
+        """Drive the stream over an iterable, yielding every closed batch.
+
+        The final partial batch is flushed and yielded too, so every pushed
+        document reaches the consumer exactly once.
+        """
+        for document in documents:
+            batch = self.push(document)
+            if batch is not None:
+                yield batch
+        tail = self.flush()
+        if tail is not None:
+            yield tail
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DocumentStream(batch_docs={self.batch_docs}, on_oov={self.on_oov!r}, "
+            f"pending={self.pending}, V={self.vocabulary.size})"
+        )

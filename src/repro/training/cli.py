@@ -19,6 +19,13 @@ Train on a real UCI bag-of-words corpus::
 
     python -m repro.train --corpus docword.kos.txt.gz --vocab-file vocab.kos.txt \
         --sampler warplda --topics 50 --workers 4 --epochs 100
+
+Replay a corpus as a document stream — online updates over a sliding window,
+one registry version published per ``--publish-every`` batches::
+
+    python -m repro.train --stream --synthetic --docs 200 --vocab-size 500 \
+        --topics 20 --stream-batch-docs 32 --window-docs 256 --decay 0.995 \
+        --registry-dir registry --seed 0
 """
 
 from __future__ import annotations
@@ -96,6 +103,38 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=None, help="master seed")
     run.add_argument(
         "--eval-every", type=int, default=1, help="log-likelihood print stride"
+    )
+
+    streaming = parser.add_argument_group("streaming (with --stream)")
+    streaming.add_argument(
+        "--stream",
+        action="store_true",
+        help="replay the corpus as a document stream: online updates + "
+        "versioned registry publishes instead of batch epochs",
+    )
+    streaming.add_argument(
+        "--stream-batch-docs", type=int, default=32, help="documents per mini-batch"
+    )
+    streaming.add_argument(
+        "--window-docs", type=int, default=256, help="sliding-window size in documents"
+    )
+    streaming.add_argument(
+        "--sweeps-per-batch", type=int, default=2, help="Gibbs sweeps per mini-batch"
+    )
+    streaming.add_argument(
+        "--decay",
+        type=float,
+        default=1.0,
+        help="exponential decay of retired counts per batch (1.0 = keep forever)",
+    )
+    streaming.add_argument(
+        "--publish-every", type=int, default=1, help="batches between registry publishes"
+    )
+    streaming.add_argument(
+        "--registry-dir", type=Path, help="persist registry versions here"
+    )
+    streaming.add_argument(
+        "--retain", type=int, default=3, help="registry versions retained for rollback"
     )
 
     ckpt = parser.add_argument_group("checkpointing")
@@ -176,18 +215,129 @@ def _warn_ignored_resume_flags(
         )
 
 
+#: Batch-training flags the ``--stream`` path ignores (argparse dests).
+_STREAM_IGNORED_FLAGS = (
+    "workers",
+    "backend",
+    "epochs",
+    "iters_per_epoch",
+    "eval_every",
+    "checkpoint_every",
+)
+
+
+def _warn_ignored_stream_flags(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    """Warn when --stream is combined with batch-training flags it ignores."""
+    for dest in _STREAM_IGNORED_FLAGS:
+        if getattr(args, dest) != parser.get_default(dest):
+            print(
+                f"warning: --{dest.replace('_', '-')} is ignored with --stream "
+                f"(streaming trains online, not in parallel epochs)"
+            )
+    if args.checkpoint_dir is not None:
+        print(
+            "warning: --checkpoint-dir is ignored with --stream; use "
+            "--registry-dir to persist published model versions"
+        )
+
+
+def _stream_main(args: argparse.Namespace, corpus: Corpus) -> int:
+    """The ``--stream`` path: replay ``corpus`` through the online pipeline.
+
+    Documents are replayed as raw token strings through a fresh, growing
+    vocabulary — exactly what a live deployment sees — so the run exercises
+    online vocabulary growth, the sliding-window updates and the registry
+    publish cadence end to end.
+    """
+    from repro.streaming import (
+        DocumentStream,
+        ModelRegistry,
+        OnlineTrainer,
+        OnlineTrainerConfig,
+        StreamingPipeline,
+    )
+
+    config = OnlineTrainerConfig(
+        num_topics=args.topics,
+        alpha=args.alpha,
+        beta=args.beta,
+        sampler=args.sampler,
+        kernel=args.kernel,
+        window_docs=args.window_docs,
+        sweeps_per_batch=args.sweeps_per_batch,
+        decay=args.decay,
+        num_mh_steps=args.mh_steps,
+    )
+    trainer = OnlineTrainer(config=config, seed=args.seed)
+    registry = ModelRegistry(retain=args.retain, directory=args.registry_dir)
+    pipeline = StreamingPipeline(trainer, registry, publish_every=args.publish_every)
+    stream = DocumentStream(
+        trainer.corpus.vocabulary, batch_docs=args.stream_batch_docs
+    )
+
+    vocabulary = corpus.vocabulary
+    started = time.perf_counter()
+    raw_documents = (
+        [vocabulary.word(w) for w in corpus.document_words(d)]
+        for d in range(corpus.num_documents)
+    )
+    for batch in stream.batches(raw_documents):
+        report = pipeline.ingest(batch)
+        update = report.update
+        published = (
+            f"published v{report.published.version}" if report.published else "-"
+        )
+        print(
+            f"batch {update.batch_index:4d}  docs {update.documents_added:4d}  "
+            f"window {update.window_documents:5d}  V {update.vocabulary_size:6d}  "
+            f"{published}  {update.train_seconds * 1e3:7.1f} ms"
+        )
+    elapsed = time.perf_counter() - started
+    docs_per_s = trainer.documents_ingested / elapsed if elapsed > 0 else 0.0
+    print(
+        f"ingested {trainer.documents_ingested} documents / "
+        f"{trainer.tokens_ingested} tokens in {elapsed:.2f}s "
+        f"({docs_per_s:.1f} docs/s)"
+    )
+    if registry.current_version is None:
+        print(
+            f"no version published: the stream ended after "
+            f"{trainer.batches_ingested} batches, before a publish was due "
+            f"(--publish-every {args.publish_every})"
+        )
+    else:
+        print(
+            f"registry versions {registry.versions()} "
+            f"(current v{registry.current_version})"
+        )
+        if args.registry_dir is not None:
+            print(f"registry persisted to {args.registry_dir}")
+    if args.snapshot_out is not None:
+        written = trainer.export_snapshot().save(args.snapshot_out)
+        print(f"serving snapshot written to {written}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.resume and args.checkpoint_dir is None:
         raise SystemExit("--resume requires --checkpoint-dir")
+    if args.stream and args.resume:
+        raise SystemExit("--stream and --resume are mutually exclusive")
 
     corpus = build_corpus(args)
     print(
         f"corpus: {corpus.num_documents} documents, {corpus.num_tokens} tokens, "
         f"vocabulary {corpus.vocabulary_size}"
     )
+
+    if args.stream:
+        _warn_ignored_stream_flags(parser, args)
+        return _stream_main(args, corpus)
 
     if args.resume:
         trainer = ParallelTrainer.resume(

@@ -55,9 +55,14 @@ class TestCorpusSlice:
             )
 
     def test_invalid_ranges_rejected(self, corpus):
-        for start, stop in [(-1, 3), (3, 3), (5, 2), (0, corpus.num_documents + 1)]:
+        for start, stop in [(-1, 3), (5, 2), (0, corpus.num_documents + 1)]:
             with pytest.raises(IndexError):
                 corpus.slice(start, stop)
+
+    def test_zero_length_slice_is_an_empty_view(self, corpus):
+        view = corpus.slice(3, 3)
+        assert view.num_documents == 0
+        assert view.num_tokens == 0
 
     def test_all_empty_slice_allowed(self):
         vocab = Vocabulary(["a", "b"])

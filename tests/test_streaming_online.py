@@ -1,0 +1,244 @@
+"""OnlineTrainer: state invariants, decay, vocabulary growth, batch parity."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import SyntheticCorpusSpec, generate_lda_corpus
+from repro.samplers.cgs import CollapsedGibbsSampler
+from repro.serving import InferenceEngine
+from repro.streaming import (
+    DocumentStream,
+    OnlineTrainer,
+    OnlineTrainerConfig,
+    StreamingCorpus,
+)
+
+
+def tokens_of(corpus, doc_index):
+    return [corpus.vocabulary.word(w) for w in corpus.document_words(doc_index)]
+
+
+@pytest.fixture(scope="module")
+def synthetic_split():
+    spec = SyntheticCorpusSpec(
+        num_documents=150,
+        vocabulary_size=300,
+        mean_document_length=40,
+        num_topics=5,
+        topic_word_concentration=0.05,
+    )
+    full = generate_lda_corpus(spec, rng=0)
+    return full.split(0.8, rng=1)
+
+
+def replay(trainer, corpus, batch_docs=25):
+    stream = DocumentStream(trainer.corpus.vocabulary, batch_docs=batch_docs)
+    updates = []
+    for batch in stream.batches(
+        tokens_of(corpus, d) for d in range(corpus.num_documents)
+    ):
+        updates.append(trainer.ingest(batch))
+    return updates
+
+
+class TestConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="decay"):
+            OnlineTrainerConfig(decay=0.0)
+        with pytest.raises(ValueError, match="decay"):
+            OnlineTrainerConfig(decay=1.5)
+        with pytest.raises(ValueError, match="window_docs"):
+            OnlineTrainerConfig(window_docs=0)
+        with pytest.raises(ValueError, match="sweeps_per_batch"):
+            OnlineTrainerConfig(sweeps_per_batch=0)
+        with pytest.raises(ValueError, match="unknown sampler"):
+            OnlineTrainerConfig(sampler="nope")
+
+    def test_config_and_kwargs_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            OnlineTrainer(config=OnlineTrainerConfig(), num_topics=3)
+
+    def test_requires_empty_streaming_corpus(self):
+        corpus = StreamingCorpus()
+        corpus.vocabulary.add("a")
+        corpus.append([np.array([0])])
+        with pytest.raises(ValueError, match="empty StreamingCorpus"):
+            OnlineTrainer(num_topics=2, corpus=corpus)
+
+
+class TestStateInvariants:
+    def test_counts_cover_every_token_without_decay(self, synthetic_split):
+        train, _ = synthetic_split
+        trainer = OnlineTrainer(
+            num_topics=5, window_docs=30, sweeps_per_batch=2, seed=0
+        )
+        replay(trainer, train, batch_docs=20)
+        # retired + window counts must sum to exactly one count per token.
+        counts = trainer.word_topic_counts()
+        assert counts.sum() == pytest.approx(trainer.corpus.num_tokens)
+        by_word = counts.sum(axis=1)
+        expected = np.bincount(
+            trainer.corpus.token_words, minlength=trainer.corpus.vocabulary_size
+        )
+        np.testing.assert_allclose(by_word, expected)
+
+    def test_assignments_stay_in_range(self, synthetic_split):
+        train, _ = synthetic_split
+        trainer = OnlineTrainer(
+            num_topics=4, window_docs=25, sweeps_per_batch=1, seed=0
+        )
+        replay(trainer, train, batch_docs=30)
+        assignments = trainer.assignments
+        assert assignments.size == trainer.corpus.num_tokens
+        assert assignments.min() >= 0 and assignments.max() < 4
+
+    def test_window_and_retirement_bookkeeping(self, synthetic_split):
+        train, _ = synthetic_split
+        trainer = OnlineTrainer(
+            num_topics=3, window_docs=40, sweeps_per_batch=1, seed=0
+        )
+        updates = replay(trainer, train, batch_docs=25)
+        assert sum(u.documents_added for u in updates) == train.num_documents
+        # A sweep covers the previous live window plus the arriving batch.
+        assert all(u.window_documents <= 40 + 25 for u in updates)
+        retired_total = sum(u.retired_documents for u in updates)
+        assert retired_total == trainer._retired_docs
+        # After the final retire the live window is back within bounds.
+        assert train.num_documents - trainer._retired_docs <= 40
+
+    def test_batch_larger_than_window_is_swept_before_retiring(self):
+        """A batch wider than the window must not retire unsampled tokens."""
+        trainer = OnlineTrainer(
+            num_topics=3, window_docs=2, sweeps_per_batch=1, seed=0
+        )
+        vocab = trainer.corpus.vocabulary
+        docs = [vocab.encode([f"w{d}", "shared"], on_oov="add") for d in range(10)]
+        update = trainer.ingest(docs)
+        # Every arriving document was swept (not just the trailing window)...
+        assert update.window_documents == 10
+        # ...and only then were the out-of-window ones retired.
+        assert update.retired_documents == 8
+        counts = trainer.word_topic_counts()
+        assert counts.sum() == pytest.approx(trainer.corpus.num_tokens)
+
+    def test_bucket_cache_dropped_once_window_detaches(self):
+        from repro.kernels.buckets import corpus_buckets
+
+        trainer = OnlineTrainer(
+            num_topics=2, sampler="warplda", window_docs=3,
+            sweeps_per_batch=1, seed=0,
+        )
+        vocab = trainer.corpus.vocabulary
+        doc = lambda i: vocab.encode([f"w{i}", "x", "x"], on_oov="add")
+        trainer.ingest([doc(0), doc(1)])
+        # Window covers the stream: the WarpLDA sweep built the caches here.
+        assert "_slab_bucket_cache" in trainer.corpus.__dict__
+        # 4 docs > window 3: this sweep still covers the whole stream (the
+        # overflow retires *after* it), so the cache survives one more batch.
+        trainer.ingest([doc(2), doc(3)])
+        assert "_slab_bucket_cache" in trainer.corpus.__dict__
+        # Now the sweep starts past document 0: detached for good, dropped.
+        trainer.ingest([doc(4)])
+        assert "_slab_bucket_cache" not in trainer.corpus.__dict__
+        trainer.ingest([doc(5)])
+        assert "_slab_bucket_cache" not in trainer.corpus.__dict__
+
+    def test_decay_shrinks_retired_mass(self):
+        trainer = OnlineTrainer(
+            num_topics=2, window_docs=1, sweeps_per_batch=1, decay=0.5, seed=0
+        )
+        vocab = trainer.corpus.vocabulary
+        doc = lambda: vocab.encode(["a", "b", "a"], on_oov="add")
+        trainer.ingest([doc()])
+        trainer.ingest([doc()])  # retires doc 0 at full weight
+        mass_after_first_retire = trainer._retired.sum()
+        assert mass_after_first_retire == pytest.approx(3.0)
+        trainer.ingest([doc()])  # decays retired by 0.5, retires doc 1
+        assert trainer._retired.sum() == pytest.approx(3.0 * 0.5 + 3.0)
+
+    def test_vocabulary_growth_grows_model(self):
+        trainer = OnlineTrainer(num_topics=3, sweeps_per_batch=1, seed=0)
+        vocab = trainer.corpus.vocabulary
+        trainer.ingest([vocab.encode(["a", "b"], on_oov="add")])
+        assert trainer.phi().shape == (3, 2)
+        trainer.ingest([vocab.encode(["c", "d", "e"], on_oov="add")])
+        assert trainer.phi().shape == (3, 5)
+        snapshot = trainer.export_snapshot()
+        assert snapshot.vocabulary_size == 5
+        assert snapshot.metadata["sampler"] == "Online[cgs]"
+
+    def test_export_consistent_while_vocabulary_grows_ahead(self):
+        """Pushed-but-not-ingested words must not desynchronise the export."""
+        trainer = OnlineTrainer(num_topics=3, sweeps_per_batch=1, seed=0)
+        vocab = trainer.corpus.vocabulary
+        trainer.ingest([vocab.encode(["a", "b"], on_oov="add")])
+        # The ingestion layer grows the vocabulary before the batch closes.
+        pending = vocab.encode(["c", "d", "e"], on_oov="add")
+        snapshot = trainer.export_snapshot()
+        assert snapshot.vocabulary_size == 5
+        assert snapshot.phi.shape == (3, 5)
+        # Never-ingested words carry only the beta prior (uniform columns).
+        np.testing.assert_allclose(
+            snapshot.phi[:, 2:].sum(axis=0), snapshot.phi[:, 2:].sum(axis=0)[0]
+        )
+        trainer.ingest([pending])  # and the deferred batch ingests cleanly
+        assert trainer.export_snapshot().vocabulary_size == 5
+
+    def test_export_before_ingest_fails(self):
+        trainer = OnlineTrainer(num_topics=2)
+        with pytest.raises(ValueError, match="before ingesting"):
+            trainer.export_snapshot()
+
+    def test_deterministic_given_seed(self, synthetic_split):
+        train, _ = synthetic_split
+        phis = []
+        for _ in range(2):
+            trainer = OnlineTrainer(
+                num_topics=4, window_docs=50, sweeps_per_batch=2, seed=123
+            )
+            replay(trainer, train, batch_docs=40)
+            phis.append(trainer.phi())
+        np.testing.assert_array_equal(phis[0], phis[1])
+
+
+@pytest.mark.parametrize("sampler", ["cgs", "warplda"])
+def test_all_registered_window_samplers_run(synthetic_split, sampler):
+    train, _ = synthetic_split
+    trainer = OnlineTrainer(
+        num_topics=4,
+        sampler=sampler,
+        window_docs=40,
+        sweeps_per_batch=2,
+        seed=0,
+    )
+    replay(trainer, train.slice(0, 60), batch_docs=20)
+    counts = trainer.word_topic_counts()
+    assert counts.sum() == pytest.approx(trainer.corpus.num_tokens)
+    snapshot = trainer.export_snapshot()
+    assert snapshot.num_topics == 4
+
+
+class TestEndToEndParity:
+    def test_online_perplexity_within_5pct_of_batch_retrain(self, synthetic_split):
+        """Acceptance: online model ≈ full batch retrain on the same corpus.
+
+        With ``decay=1`` and a window covering the whole stream, the online
+        trainer is an incremental version of the batch sampler; its held-out
+        perplexity must land within 5% of a converged batch retrain on the
+        same cumulative corpus.
+        """
+        train, held = synthetic_split
+        trainer = OnlineTrainer(
+            num_topics=5, window_docs=10_000, sweeps_per_batch=8, seed=0
+        )
+        replay(trainer, train, batch_docs=25)
+
+        held_docs = [tokens_of(held, d) for d in range(held.num_documents)]
+        online_engine = InferenceEngine(trainer.export_snapshot(), seed=0)
+        online_ppl = online_engine.held_out_perplexity(held_docs)
+
+        batch_sampler = CollapsedGibbsSampler(trainer.corpus, 5, seed=0).fit(100)
+        batch_engine = InferenceEngine(batch_sampler.export_snapshot(), seed=0)
+        batch_ppl = batch_engine.held_out_perplexity(held_docs)
+
+        assert abs(online_ppl - batch_ppl) / batch_ppl < 0.05

@@ -1,0 +1,198 @@
+"""ModelRegistry: publish/swap atomicity, retention GC, rollback, persistence."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.corpus import Vocabulary
+from repro.serving import ModelSnapshot
+from repro.streaming import ModelRegistry
+
+
+def make_snapshot(tag: int, num_topics: int = 3) -> ModelSnapshot:
+    vocab = Vocabulary(["a", "b", "c", "d"])
+    rng = np.random.default_rng(tag)
+    phi = rng.random((num_topics, vocab.size)) + 0.1
+    phi /= phi.sum(axis=1, keepdims=True)
+    return ModelSnapshot(
+        phi=phi, alpha=0.5, beta=0.01, vocabulary=vocab, metadata={"tag": tag}
+    )
+
+
+class TestPublish:
+    def test_versions_are_monotonic_from_one(self):
+        registry = ModelRegistry()
+        assert registry.current() is None
+        assert registry.current_version is None
+        v1 = registry.publish(make_snapshot(1))
+        v2 = registry.publish(make_snapshot(2))
+        assert (v1.version, v2.version) == (1, 2)
+        assert registry.current_version == 2
+        assert registry.current().snapshot.metadata["tag"] == 2
+
+    def test_publish_rejects_non_snapshots(self):
+        with pytest.raises(TypeError, match="ModelSnapshot"):
+            ModelRegistry().publish("not a snapshot")
+
+    def test_publish_metadata_recorded(self):
+        registry = ModelRegistry()
+        entry = registry.publish(make_snapshot(1), batch_index=7)
+        # Publish metadata is merged with the snapshot's own provenance and
+        # the assigned registry version (identical live and after a reopen).
+        assert entry.metadata["batch_index"] == 7
+        assert entry.metadata["registry_version"] == 1
+        assert entry.metadata["tag"] == 1
+
+    def test_concurrent_publishes_never_corrupt_the_pointer(self):
+        registry = ModelRegistry(retain=8)
+        snapshots = [make_snapshot(i) for i in range(8)]
+        threads = [
+            threading.Thread(target=registry.publish, args=(snap,))
+            for snap in snapshots
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.versions() == list(range(1, 9))
+        assert registry.current_version == 8
+
+
+class TestRetention:
+    def test_old_versions_are_garbage_collected(self):
+        registry = ModelRegistry(retain=2)
+        for i in range(5):
+            registry.publish(make_snapshot(i))
+        assert registry.versions() == [4, 5]
+        with pytest.raises(KeyError, match="not retained"):
+            registry.get(1)
+
+    def test_current_survives_gc_after_rollback(self):
+        registry = ModelRegistry(retain=2)
+        registry.publish(make_snapshot(1))
+        registry.publish(make_snapshot(2))
+        registry.rollback(1)
+        for i in range(3, 6):
+            registry.publish(make_snapshot(i))
+        # Versions 4 and 5 are the retention window; 1 was current at each
+        # publish... until the publishes moved current forward again.
+        assert registry.current_version == 5
+
+    def test_retain_must_be_positive(self):
+        with pytest.raises(ValueError, match="retain"):
+            ModelRegistry(retain=0)
+
+
+class TestRollback:
+    def test_rollback_steps_to_previous_version(self):
+        registry = ModelRegistry()
+        registry.publish(make_snapshot(1))
+        registry.publish(make_snapshot(2))
+        entry = registry.rollback()
+        assert entry.version == 1
+        assert registry.current_version == 1
+
+    def test_rollback_to_explicit_version(self):
+        registry = ModelRegistry()
+        for i in range(1, 4):
+            registry.publish(make_snapshot(i))
+        assert registry.rollback(2).version == 2
+        assert registry.current().snapshot.metadata["tag"] == 2
+
+    def test_publish_after_rollback_keeps_numbering(self):
+        registry = ModelRegistry()
+        registry.publish(make_snapshot(1))
+        registry.publish(make_snapshot(2))
+        registry.rollback()
+        assert registry.publish(make_snapshot(3)).version == 3
+        assert registry.current_version == 3
+
+    def test_rollback_without_older_version_fails(self):
+        registry = ModelRegistry()
+        with pytest.raises(RuntimeError, match="nothing published"):
+            registry.rollback()
+        registry.publish(make_snapshot(1))
+        with pytest.raises(RuntimeError, match="no retained version"):
+            registry.rollback()
+
+    def test_rollback_to_collected_version_fails(self):
+        registry = ModelRegistry(retain=1)
+        registry.publish(make_snapshot(1))
+        registry.publish(make_snapshot(2))
+        with pytest.raises(KeyError, match="not retained"):
+            registry.rollback(1)
+
+
+class TestPersistence:
+    def test_publish_writes_versions_and_pointer(self, tmp_path):
+        registry = ModelRegistry(retain=2, directory=tmp_path)
+        registry.publish(make_snapshot(1))
+        registry.publish(make_snapshot(2))
+        assert (tmp_path / "v00001.npz").exists()
+        assert (tmp_path / "v00002.npz.json").exists()
+        assert (tmp_path / "CURRENT").read_text().strip() == "2"
+
+    def test_gc_deletes_collected_files(self, tmp_path):
+        registry = ModelRegistry(retain=1, directory=tmp_path)
+        for i in range(3):
+            registry.publish(make_snapshot(i))
+        assert not (tmp_path / "v00001.npz").exists()
+        assert not (tmp_path / "v00001.npz.json").exists()
+        assert (tmp_path / "v00003.npz").exists()
+
+    def test_open_roundtrips_versions_and_pointer(self, tmp_path):
+        registry = ModelRegistry(retain=3, directory=tmp_path)
+        for i in range(1, 4):
+            registry.publish(make_snapshot(i))
+        registry.rollback(2)
+
+        reopened = ModelRegistry.open(tmp_path)
+        assert reopened.versions() == [1, 2, 3]
+        assert reopened.current_version == 2
+        assert reopened.current().snapshot == registry.get(2).snapshot
+        # Publishing continues from the high-water mark, and the default
+        # reopened retention never tightens below the class default.
+        assert reopened.publish(make_snapshot(9)).version == 4
+        assert reopened.versions() == [1, 2, 3, 4]
+
+    def test_fresh_registry_over_reused_directory_never_overwrites(self, tmp_path):
+        """A new registry on an old directory resumes numbering past it."""
+        first_run = ModelRegistry(retain=3, directory=tmp_path)
+        first_run.publish(make_snapshot(1))
+        first_run.publish(make_snapshot(2))
+        old_bytes = (tmp_path / "v00001.npz").read_bytes()
+
+        second_run = ModelRegistry(retain=3, directory=tmp_path)
+        entry = second_run.publish(make_snapshot(9))
+        assert entry.version == 3  # past the previous run's high-water mark
+        assert (tmp_path / "v00001.npz").read_bytes() == old_bytes
+        assert (tmp_path / "CURRENT").read_text().strip() == "3"
+
+    def test_open_skips_partial_versions_from_crashed_publishes(self, tmp_path):
+        registry = ModelRegistry(retain=3, directory=tmp_path)
+        registry.publish(make_snapshot(1))
+        registry.publish(make_snapshot(2))
+        # Simulate a publish that crashed between the .npz and its sidecar.
+        (tmp_path / "v00003.npz").write_bytes(b"not a real npz")
+        reopened = ModelRegistry.open(tmp_path)
+        assert reopened.versions() == [1, 2]
+        assert reopened.current_version == 2
+
+    def test_entry_metadata_identical_live_and_reopened(self, tmp_path):
+        registry = ModelRegistry(retain=3, directory=tmp_path)
+        live = registry.publish(make_snapshot(1), batch_index=7)
+        assert live.metadata["registry_version"] == 1
+        assert live.metadata["batch_index"] == 7
+        assert live.metadata["tag"] == 1  # the snapshot's own metadata
+        reopened = ModelRegistry.open(tmp_path)
+        assert reopened.get(1).metadata == live.metadata
+
+    def test_open_missing_directory_fails(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ModelRegistry.open(tmp_path / "nope")
+
+    def test_open_empty_directory_is_a_fresh_registry(self, tmp_path):
+        registry = ModelRegistry.open(tmp_path.parent / tmp_path.name)
+        assert registry.current() is None
+        assert registry.publish(make_snapshot(1)).version == 1

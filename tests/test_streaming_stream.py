@@ -1,0 +1,127 @@
+"""DocumentStream batching, encoding modes and Vocabulary growth semantics."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import Vocabulary
+from repro.serving import ModelSnapshot
+from repro.streaming import DocumentStream
+
+
+class TestBatching:
+    def test_batches_close_at_batch_docs(self):
+        stream = DocumentStream(Vocabulary(), batch_docs=3)
+        assert stream.push(["a"]) is None
+        assert stream.push(["b"]) is None
+        batch = stream.push(["c"])
+        assert batch is not None
+        assert batch.num_documents == 3
+        assert batch.sequence == 0
+        assert stream.pending == 0
+
+    def test_flush_returns_partial_batch(self):
+        stream = DocumentStream(Vocabulary(), batch_docs=10)
+        stream.push(["a", "b"], doc_id="d0")
+        batch = stream.flush()
+        assert batch.num_documents == 1
+        assert batch.doc_ids == ["d0"]
+        assert stream.flush() is None
+
+    def test_batches_iterator_covers_every_document(self):
+        stream = DocumentStream(Vocabulary(), batch_docs=4)
+        docs = [[f"w{i}"] for i in range(10)]
+        batches = list(stream.batches(docs))
+        assert [b.num_documents for b in batches] == [4, 4, 2]
+        assert [b.sequence for b in batches] == [0, 1, 2]
+        assert stream.stats.documents == 10
+        assert stream.stats.batches == 3
+
+    def test_id_documents_pass_through(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        stream = DocumentStream(vocab, batch_docs=1)
+        batch = stream.push(np.array([2, 0]))
+        assert batch.documents[0].tolist() == [2, 0]
+
+    def test_id_documents_validated_against_vocabulary(self):
+        stream = DocumentStream(Vocabulary(["a"]), batch_docs=1)
+        with pytest.raises(ValueError, match="word ids must be in"):
+            stream.push(np.array([5]))
+
+
+class TestOovModes:
+    def test_add_grows_vocabulary(self):
+        vocab = Vocabulary(["a"])
+        stream = DocumentStream(vocab, batch_docs=1)
+        batch = stream.push(["a", "new", "newer"])
+        assert vocab.size == 3
+        assert batch.documents[0].tolist() == [0, 1, 2]
+        assert stream.stats.words_added == 2
+
+    def test_drop_counts_dropped_tokens(self):
+        vocab = Vocabulary(["a"])
+        stream = DocumentStream(vocab, batch_docs=2, on_oov="drop")
+        stream.push(["a", "zzz"])
+        batch = stream.push(["yyy"])
+        assert batch.oov_dropped == 2
+        assert batch.documents[1].size == 0
+        assert vocab.size == 1
+
+    def test_add_on_frozen_vocabulary_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unfrozen"):
+            DocumentStream(Vocabulary(["a"]).freeze(), on_oov="add")
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="on_oov"):
+            DocumentStream(Vocabulary(), on_oov="explode")
+
+
+class TestVocabularyGrowthSemantics:
+    """Satellite: frozen/add interplay and snapshot-consistent ids."""
+
+    def test_add_on_frozen_vocab_raises_clear_error(self):
+        vocab = Vocabulary(["a"]).freeze()
+        with pytest.raises(KeyError, match="frozen"):
+            vocab.add("b")
+        # Existing words still resolve.
+        assert vocab.add("a") == 0
+
+    def test_encode_add_on_frozen_vocab_fails_fast(self):
+        vocab = Vocabulary(["a"]).freeze()
+        # Fails even when every token is known: the caller asked for growth.
+        with pytest.raises(ValueError, match="frozen"):
+            vocab.encode(["a"], on_oov="add")
+
+    def test_encode_add_grows_and_returns_new_ids(self):
+        vocab = Vocabulary(["a"])
+        ids = vocab.encode(["b", "a", "b", "c"], on_oov="add")
+        assert ids.tolist() == [1, 0, 1, 2]
+        assert vocab.words() == ["a", "b", "c"]
+
+    def test_ids_consistent_with_concurrent_snapshot_export(self):
+        """Growth is append-only: a snapshot freezes a *prefix* vocabulary."""
+        vocab = Vocabulary()
+        vocab.encode(["cat", "dog"], on_oov="add")
+        phi = np.full((2, vocab.size), 1.0 / vocab.size)
+        snapshot = ModelSnapshot(phi=phi, alpha=0.5, beta=0.01, vocabulary=vocab)
+
+        # The stream keeps growing after the export...
+        later = vocab.encode(["dog", "emu", "cat"], on_oov="add")
+        assert later.tolist() == [1, 2, 0]
+
+        # ...but every id the snapshot knew keeps its meaning: the exported
+        # vocabulary is an exact prefix of the live one.
+        exported = snapshot.vocabulary
+        assert exported.frozen
+        assert exported.words() == vocab.words()[: exported.size]
+        for word in exported.words():
+            assert exported[word] == vocab[word]
+        # Ids at or past the snapshot size are exactly the unseen words.
+        assert all(
+            wid >= exported.size
+            for wid in later
+            if vocab.word(wid) not in exported
+        )
+
+    def test_encode_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="on_oov must be"):
+            Vocabulary(["a"]).encode(["a"], on_oov="grow")
