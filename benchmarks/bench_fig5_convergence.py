@@ -31,7 +31,7 @@ CONFIGURATIONS = [
 
 
 def run_configuration(preset, scale, num_topics, warp_iterations, baseline_iterations):
-    corpus = load_preset(preset, scale=scale, rng=0)
+    corpus = load_preset(preset, scale=scale, seed=0)
     trackers = {}
 
     warp = WarpLDA(corpus, num_topics=num_topics, num_mh_steps=2, seed=0)

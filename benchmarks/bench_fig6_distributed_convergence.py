@@ -67,7 +67,7 @@ def run_figure6():
             mean_document_length=367,
             num_topics=NUM_TOPICS,
         ),
-        rng=0,
+        seed=0,
     )
     warp_tracker = ConvergenceTracker("WarpLDA (distributed)")
     DistributedWarpLDA(

@@ -21,7 +21,7 @@ NUM_ITERATIONS = 15
 
 
 def run_ablation():
-    corpus = load_preset("nytimes_like", scale=0.08, rng=0)
+    corpus = load_preset("nytimes_like", scale=0.08, seed=0)
     suite = make_ablation_suite(corpus, num_topics=NUM_TOPICS, num_mh_steps=1, seed=0)
     trackers = {}
     for label, factory in suite.items():

@@ -20,7 +20,7 @@ NUM_TOPICS = 50
 
 
 def run_sweep():
-    corpus = load_preset("nytimes_like", scale=0.15, rng=0)
+    corpus = load_preset("nytimes_like", scale=0.15, seed=0)
     trackers = {}
     for num_mh_steps in M_VALUES:
         tracker = ConvergenceTracker(f"M={num_mh_steps}")

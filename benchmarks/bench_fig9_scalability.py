@@ -32,7 +32,7 @@ CLUEWEB_WORKERS = 256
 
 def measure_single_process_throughput():
     """Measured tokens/s of this reproduction's WarpLDA on one process."""
-    corpus = load_preset("nytimes_like", scale=0.2, rng=0)
+    corpus = load_preset("nytimes_like", scale=0.2, seed=0)
     model = WarpLDA(corpus, num_topics=50, num_mh_steps=2, seed=0)
     model.run_iteration()  # warm-up
     start = time.perf_counter()
@@ -44,7 +44,7 @@ def measure_single_process_throughput():
 
 
 def run_clueweb_panel():
-    corpus = load_preset("clueweb_like", scale=0.2, rng=0)
+    corpus = load_preset("clueweb_like", scale=0.2, seed=0)
     tracker = ConvergenceTracker("ClueWeb-like, 256 modelled workers")
     DistributedWarpLDA(
         corpus,

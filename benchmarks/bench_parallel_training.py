@@ -34,7 +34,7 @@ SEED = 0
 
 
 def run_parallel_training_bench():
-    corpus = load_preset("nytimes_like", scale=SCALE, rng=SEED)
+    corpus = load_preset("nytimes_like", scale=SCALE, seed=SEED)
     train, heldout = corpus.split(train_fraction=0.85, rng=SEED)
 
     # Serial reference.

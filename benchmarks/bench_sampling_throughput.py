@@ -111,7 +111,7 @@ def bench_corpus(args: argparse.Namespace):
         doc_topic_concentration=0.05,
         topic_word_concentration=0.02,
     )
-    return generate_lda_corpus(spec, rng=0)
+    return generate_lda_corpus(spec, seed=0)
 
 
 def bench_sampler(

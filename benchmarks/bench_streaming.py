@@ -70,7 +70,7 @@ def run_streaming_bench(
         mean_document_length=mean_length,
         num_topics=num_topics,
     )
-    corpus = generate_lda_corpus(spec, rng=seed)
+    corpus = generate_lda_corpus(spec, seed=seed)
     rng = np.random.default_rng(seed)
 
     # WarpLDA by default: it is the paper's sampler and its slab phases run
@@ -83,7 +83,7 @@ def run_streaming_bench(
         sweeps_per_batch=sweeps_per_batch,
         decay=decay,
     )
-    trainer = OnlineTrainer(config=config, seed=seed)
+    trainer = OnlineTrainer.from_config(config, seed=seed)
     registry = ModelRegistry(retain=3)
     pipeline = StreamingPipeline(trainer, registry, publish_every=publish_every)
     stream = DocumentStream(trainer.corpus.vocabulary, batch_docs=batch_docs)

@@ -11,7 +11,7 @@ from repro.report import format_table
 
 
 def test_table2_access_patterns(benchmark, emit):
-    corpus = load_preset("nytimes_like", scale=0.2, rng=0)
+    corpus = load_preset("nytimes_like", scale=0.2, seed=0)
     num_topics = 100
 
     rows = benchmark(access_pattern_table, corpus, num_topics, None, 1, 0)

@@ -12,7 +12,7 @@ def test_table3_dataset_statistics(benchmark, emit):
     def build_rows():
         rows = []
         for name, preset in DATASET_PRESETS.items():
-            corpus = preset.generate(scale=0.2, rng=0)
+            corpus = preset.generate(scale=0.2, seed=0)
             stats = CorpusStatistics.from_corpus(corpus).as_table_row()
             rows.append(
                 {

@@ -24,7 +24,7 @@ def test_table4_l3_miss_rates(benchmark, emit):
     def run_all():
         rows = []
         for preset, scale, num_topics in SETTINGS:
-            corpus = load_preset(preset, scale=scale, rng=0)
+            corpus = load_preset(preset, scale=scale, seed=0)
             results = l3_miss_rate_experiment(
                 corpus, num_topics=num_topics, max_tokens=4000, rng=0
             )

@@ -15,7 +15,7 @@ from repro.report import format_table
 
 
 def main() -> None:
-    corpus = load_preset("nytimes_like", scale=0.2, rng=0)
+    corpus = load_preset("nytimes_like", scale=0.2, seed=0)
     num_topics = 100
 
     print("Memory hierarchy (paper Table 1):")

@@ -22,7 +22,7 @@ from repro.report import format_table
 
 
 def main() -> None:
-    corpus = load_preset("clueweb_like", scale=0.2, rng=0)
+    corpus = load_preset("clueweb_like", scale=0.2, seed=0)
     print(f"Corpus: {corpus.num_documents} documents, {corpus.num_tokens} tokens")
 
     rows = []

@@ -25,7 +25,7 @@ SEED = 0
 
 
 def main() -> None:
-    corpus = load_preset("nytimes_like", scale=0.2, rng=SEED)
+    corpus = load_preset("nytimes_like", scale=0.2, seed=SEED)
     print(f"corpus: {corpus.num_documents} docs, {corpus.num_tokens} tokens")
 
     # 1. Sharding — contiguous document ranges with balanced token counts,

@@ -12,7 +12,7 @@ from repro.evaluation import ConvergenceTracker, top_words
 
 def main() -> None:
     # A scaled-down stand-in for the paper's NYTimes corpus (Table 3).
-    corpus = load_preset("nytimes_like", scale=0.2, rng=0)
+    corpus = load_preset("nytimes_like", scale=0.2, seed=0)
     print(f"Corpus: {corpus.num_documents} documents, {corpus.num_tokens} tokens, "
           f"{corpus.vocabulary_size} words")
 

@@ -31,7 +31,7 @@ from repro.streaming import (
 def main() -> None:
     # A synthetic NYTimes-like corpus stands in for the live traffic; we
     # replay its documents as raw token lists, exactly what a feed delivers.
-    source = load_preset("nytimes_like", scale=0.6, rng=0)
+    source = load_preset("nytimes_like", scale=0.6, seed=0)
     arriving, queries_pool = source.split(train_fraction=0.85, rng=1)
 
     def raw(corpus, d):

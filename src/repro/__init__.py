@@ -1,10 +1,27 @@
 """WarpLDA reproduction library.
 
 This package reproduces the system described in *WarpLDA: a Cache Efficient
-O(1) Algorithm for Latent Dirichlet Allocation* (Chen et al., VLDB 2016).
+O(1) Algorithm for Latent Dirichlet Allocation* (Chen et al., VLDB 2016) and
+grows it into a small topic-modeling system with one front door:
+
+>>> from repro import LDA
+>>> model = LDA(num_topics=20, algorithm="warplda", seed=0)  # doctest: +SKIP
+>>> model.fit(corpus).save("model.npz")                      # doctest: +SKIP
+>>> theta = LDA.load("model.npz").transform(documents)       # doctest: +SKIP
+
+:class:`~repro.api.LDA` wraps a declarative
+:class:`~repro.api.ModelSpec` — algorithm, kernel, hyper-parameters,
+execution backend (``serial`` / ``parallel`` / ``online``) and seed — and
+dispatches ``fit`` / ``partial_fit`` / ``transform`` / ``top_topics`` /
+``perplexity`` / ``save`` / ``load`` / ``serve`` to the layers below.  The
+same surface drives the command line: ``python -m repro
+{train,stream,serve,eval}``.
 
 Subpackages
 -----------
+``repro.api``
+    The declarative front door: ``ModelSpec``, the backend registry and the
+    ``LDA`` estimator facade.
 ``repro.sampling``
     Low-level sampling primitives: alias tables, F+ trees, discrete and
     Metropolis-Hastings samplers.
@@ -13,11 +30,10 @@ Subpackages
     synthetic corpus generators and dataset presets.
 ``repro.samplers``
     Baseline LDA samplers: collapsed Gibbs, SparseLDA, AliasLDA, F+LDA and
-    LightLDA.
+    LightLDA — plus the name registry the spec layer resolves against.
 ``repro.kernels``
     Vectorized sampling kernels: bucketed slab execution of the sampler hot
-    paths (WarpLDA phases, blocked dense CGS, delayed LightLDA cycles) plus
-    the batched draw and proposal primitives they share.
+    paths plus the batched draw and proposal primitives they share.
 ``repro.core``
     The paper's contribution: the WarpLDA MCEM sampler and its ablation
     variants.
@@ -36,46 +52,66 @@ Subpackages
     inference and a micro-batching topic server.
 ``repro.training``
     Multiprocess data-parallel training: document sharding, epoch-barrier
-    count merging, resumable checkpoints and the ``python -m repro.train``
-    command line.
+    count merging and resumable checkpoints (spec backend ``parallel``).
 ``repro.streaming``
     Streaming ingestion and online training: mini-batch document streams,
-    a growable corpus with incremental kernel-cache maintenance, sliding-
-    window online updates with count decay, a versioned model registry and
-    hot-swap serving (``python -m repro.train --stream``).
+    sliding-window updates with count decay, a versioned model registry and
+    hot-swap serving (spec backend ``online``).
+
+Importing ``repro`` is deliberately light: the top-level names below are
+resolved lazily (PEP 562), so ``import repro`` pulls in neither
+``multiprocessing`` nor the serving/streaming stacks until something
+actually uses them.
 """
 
-from repro.core.warplda import WarpLDA, WarpLDAConfig
-from repro.corpus.corpus import Corpus, Document
-from repro.corpus.vocabulary import Vocabulary
-from repro.serving import InferenceEngine, ModelSnapshot, TopicServer
-from repro.streaming import (
-    DocumentStream,
-    ModelRegistry,
-    OnlineTrainer,
-    StreamingCorpus,
-    StreamingPipeline,
-)
-from repro.training import Checkpoint, ParallelTrainer, TrainerConfig
+from importlib import import_module
 
-__all__ = [
-    "Checkpoint",
-    "Corpus",
-    "Document",
-    "DocumentStream",
-    "InferenceEngine",
-    "ModelRegistry",
-    "ModelSnapshot",
-    "OnlineTrainer",
-    "ParallelTrainer",
-    "StreamingCorpus",
-    "StreamingPipeline",
-    "TopicServer",
-    "TrainerConfig",
-    "Vocabulary",
-    "WarpLDA",
-    "WarpLDAConfig",
-    "__version__",
-]
+#: Top-level name → defining module, resolved on first attribute access.
+_EXPORTS = {
+    "LDA": "repro.api",
+    "ModelSpec": "repro.api",
+    "WarpLDA": "repro.core.warplda",
+    "WarpLDAConfig": "repro.core.warplda",
+    "Corpus": "repro.corpus.corpus",
+    "Document": "repro.corpus.corpus",
+    "Vocabulary": "repro.corpus.vocabulary",
+    "InferenceEngine": "repro.serving",
+    "ModelSnapshot": "repro.serving",
+    "TopicServer": "repro.serving",
+    "DocumentStream": "repro.streaming",
+    "ModelRegistry": "repro.streaming",
+    "OnlineTrainer": "repro.streaming",
+    "StreamingCorpus": "repro.streaming",
+    "StreamingPipeline": "repro.streaming",
+    "Checkpoint": "repro.training",
+    "ParallelTrainer": "repro.training",
+    "TrainerConfig": "repro.training",
+}
 
-__version__ = "1.0.0"
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+__version__ = "1.1.0"
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        # The eager __init__ used to bind every subpackage as an attribute
+        # (a side effect of importing from them); keep `repro.serving`-style
+        # access working by importing the submodule on demand.
+        try:
+            value = import_module(f"repro.{name}")
+        except ModuleNotFoundError as exc:
+            if exc.name != f"repro.{name}":
+                raise  # a genuinely missing dependency inside the submodule
+            raise AttributeError(
+                f"module 'repro' has no attribute {name!r}"
+            ) from None
+    else:
+        value = getattr(import_module(module_name), name)
+    globals()[name] = value  # cache: subsequent lookups skip __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

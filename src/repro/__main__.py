@@ -1,0 +1,15 @@
+"""``python -m repro`` — the unified, spec-driven command line.
+
+Thin executable wrapper around :mod:`repro.api.cli`; see that module (or
+``python -m repro --help``) for the subcommands: ``train``, ``stream``,
+``serve`` and ``eval``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.api.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

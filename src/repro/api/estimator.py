@@ -1,0 +1,473 @@
+"""The :class:`LDA` estimator: one front door for every workload.
+
+``LDA`` wraps a :class:`~repro.api.spec.ModelSpec` and dispatches to the
+existing layers:
+
+=================  ====================================================
+call               dispatches to
+=================  ====================================================
+``fit``            a serial sampler (``WarpLDA`` / the baselines) or a
+                   :class:`~repro.training.parallel.ParallelTrainer`;
+                   on the online backend, replays the corpus through
+                   ``partial_fit``
+``partial_fit``    :class:`~repro.streaming.online.OnlineTrainer` behind
+                   a :class:`~repro.streaming.pipeline.StreamingPipeline`
+                   publishing into a :class:`~repro.streaming.registry
+                   .ModelRegistry`
+``transform``      :class:`~repro.serving.infer.InferenceEngine`
+``serve``          :class:`~repro.serving.server.TopicServer` (following
+                   the online registry for hot-swap when available)
+``save``/``load``  :class:`~repro.serving.snapshot.ModelSnapshot`, with
+                   the spec JSON embedded in the metadata so a saved
+                   model reloads as a ready ``LDA``
+=================  ====================================================
+
+Construction is lazy and lowering goes through ``from_config`` with the
+spec's seed, so a facade run is bit-identical to direct construction from
+the same config and seed (the equivalence the test suite checks).  Heavy
+layers (``multiprocessing``, serving, streaming) are imported only when the
+spec actually reaches them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.api.backends import get_backend
+from repro.api.spec import SPEC_METADATA_KEY, ModelSpec
+
+__all__ = ["LDA", "iter_token_batches"]
+
+
+def _materialize(document: Any) -> Any:
+    """Make ``document`` indexable without losing elements.
+
+    Generators/iterators must be materialised *before* any type sniffing:
+    peeking with ``next(iter(...))`` would silently consume (and drop) the
+    first token of a one-shot iterable.
+    """
+    if isinstance(document, str):
+        raise TypeError(
+            "a document must be a sequence of tokens, not a bare string; "
+            "tokenize first (e.g. text.split())"
+        )
+    if hasattr(document, "__getitem__"):
+        return document
+    return list(document)
+
+
+def _is_token_document(document: Any) -> bool:
+    """True when (materialised) ``document`` is a sequence of raw tokens."""
+    return len(document) > 0 and isinstance(document[0], str)
+
+
+def iter_token_batches(corpus, batch_docs: int):
+    """Replay ``corpus`` as mini-batches of raw token documents.
+
+    Word ids are decoded back to words through the corpus vocabulary — the
+    form a live stream delivers — so the online layer exercises its own
+    vocabulary growth.  Shared by :meth:`LDA.fit` on the online backend and
+    the ``python -m repro stream`` subcommand.
+    """
+    if batch_docs <= 0:
+        raise ValueError(f"batch_docs must be positive, got {batch_docs}")
+    vocabulary = corpus.vocabulary
+    for start in range(0, corpus.num_documents, batch_docs):
+        stop = min(start + batch_docs, corpus.num_documents)
+        yield [
+            [vocabulary.word(w) for w in corpus.document_words(d)]
+            for d in range(start, stop)
+        ]
+
+
+class LDA:
+    """Unified LDA estimator over a declarative :class:`ModelSpec`.
+
+    Parameters
+    ----------
+    spec:
+        The model description.  Omit it and pass the spec fields as keyword
+        arguments instead (``LDA(num_topics=20, algorithm="warplda",
+        seed=0)``) for the common case.
+
+    Examples
+    --------
+    >>> from repro.api import LDA
+    >>> from repro.corpus import load_preset
+    >>> corpus = load_preset("nytimes_like", scale=0.05, seed=0)
+    >>> model = LDA(num_topics=10, seed=0).fit(corpus, num_iterations=5)
+    >>> model.transform([["the", "fresh", "document"]]).shape
+    (1, 10)
+    """
+
+    def __init__(self, spec: Optional[ModelSpec] = None, **spec_kwargs: Any):
+        if spec is None:
+            spec = ModelSpec(**spec_kwargs)
+        elif spec_kwargs:
+            raise ValueError("pass either spec or keyword arguments, not both")
+        self.spec = spec
+        self._backend = get_backend(spec.backend)
+        self._model: Optional[Any] = None
+        self._fit_corpus: Optional[Any] = None
+        self._pipeline: Optional[Any] = None
+        self._registry: Optional[Any] = None
+        self._snapshot: Optional[Any] = None
+        self._snapshot_stale = False
+        self._engine: Optional[Any] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def fitted(self) -> bool:
+        """True once the model has trained on (or loaded) any data."""
+        return self._model is not None or self._snapshot is not None
+
+    @property
+    def model(self) -> Optional[Any]:
+        """The underlying engine (sampler, trainer, or online trainer)."""
+        return self._model
+
+    @property
+    def registry(self) -> Optional[Any]:
+        """The online backend's model registry (``None`` elsewhere)."""
+        return self._registry
+
+    @property
+    def batch_docs(self) -> int:
+        """Documents per mini-batch when replaying a corpus (online backend)."""
+        return int(self.spec.backend_options.get("batch_docs", 64))
+
+    def use_registry(self, registry) -> "LDA":
+        """Publish online updates into ``registry`` (e.g. a persisted one).
+
+        Must be called before the first :meth:`partial_fit`; by default the
+        online backend publishes into a fresh in-memory
+        :class:`~repro.streaming.registry.ModelRegistry`.
+        """
+        if self.spec.backend != "online":
+            raise RuntimeError("use_registry applies to the online backend only")
+        if self._pipeline is not None:
+            raise RuntimeError(
+                "the streaming pipeline is already running; attach the "
+                "registry before the first partial_fit"
+            )
+        self._registry = registry
+        return self
+
+    def _require_fitted(self, what: str) -> None:
+        if not self.fitted:
+            raise RuntimeError(
+                f"this LDA has not been fitted; call fit()/partial_fit() "
+                f"(or LDA.load a saved model) before {what}"
+            )
+
+    def _mark_trained(self) -> None:
+        self._snapshot_stale = True
+        self._engine = None
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        corpus,
+        num_iterations: int = 50,
+        tracker: Optional[Any] = None,
+    ) -> "LDA":
+        """Train on a frozen corpus.
+
+        On the ``serial`` backend this runs ``num_iterations`` full sweeps of
+        the spec's sampler; on ``parallel``, ``num_iterations`` merge-barrier
+        epochs of the data-parallel trainer.  On the ``online`` backend the
+        corpus is replayed through :meth:`partial_fit` in mini-batches of
+        ``backend_options["batch_docs"]`` documents (``num_iterations`` and
+        ``tracker`` do not apply), so a streaming spec still answers the
+        batch call.  Repeated ``fit`` calls on the same corpus continue the
+        same chain; a new corpus builds a fresh engine.
+        """
+        self._check_open()
+        if self.spec.backend == "online":
+            for batch in iter_token_batches(corpus, self.batch_docs):
+                self.partial_fit(batch)
+            return self
+        if self._model is None or self._fit_corpus is not corpus:
+            if self._model is not None:
+                self.close_model()
+            self._model = self._backend.build(self.spec, corpus)
+            self._fit_corpus = corpus
+        if self.spec.backend == "parallel":
+            self._model.train(num_iterations, tracker=tracker)
+        else:
+            self._model.fit(num_iterations, tracker=tracker)
+        self._mark_trained()
+        return self
+
+    def partial_fit(self, batch) -> Any:
+        """Fold one mini-batch into the (online) model; returns the report.
+
+        ``batch`` is a :class:`~repro.streaming.stream.MiniBatch` or a
+        sequence of documents — raw token lists (encoded against the growing
+        stream vocabulary) or word-id arrays already consistent with it.
+        Only the ``online`` backend supports incremental updates.
+        """
+        self._check_open()
+        if self.spec.backend != "online":
+            raise RuntimeError(
+                f"partial_fit requires backend='online', this spec uses "
+                f"{self.spec.backend!r}; use fit() or rebuild the spec with "
+                f"with_backend('online')"
+            )
+        if self._pipeline is None:
+            from repro.streaming.pipeline import StreamingPipeline
+            from repro.streaming.registry import ModelRegistry
+
+            self._model = self._backend.build(self.spec)
+            if self._registry is None:
+                self._registry = ModelRegistry()
+            self._pipeline = StreamingPipeline(
+                self._model,
+                self._registry,
+                publish_every=int(self.spec.backend_options.get("publish_every", 1)),
+            )
+        from repro.streaming.stream import MiniBatch
+
+        if not isinstance(batch, MiniBatch):
+            vocabulary = self._model.corpus.vocabulary
+            documents = [_materialize(document) for document in batch]
+            batch = [
+                vocabulary.encode(document, on_oov="add")
+                if _is_token_document(document)
+                else document
+                for document in documents
+            ]
+        report = self._pipeline.ingest(batch)
+        self._mark_trained()
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Model access
+    # ------------------------------------------------------------------ #
+    def export_snapshot(self):
+        """The current model as a :class:`~repro.serving.snapshot.ModelSnapshot`.
+
+        The snapshot's metadata carries the spec dict under
+        :data:`~repro.api.spec.SPEC_METADATA_KEY`, which is what makes a
+        saved model reload as a ready :class:`LDA`.
+        """
+        self._require_fitted("exporting a snapshot")
+        if self._snapshot is None or self._snapshot_stale:
+            snapshot = self._model.export_snapshot()
+            # Record the spec as *executed*: samplers without a slab path
+            # fall back to the scalar kernel, and the provenance must say
+            # so rather than echo the requested default.
+            spec_dict = self.spec.to_dict()
+            spec_dict["kernel"] = self._effective_kernel()
+            if snapshot.metadata.get(SPEC_METADATA_KEY) != spec_dict:
+                snapshot = snapshot.with_metadata(**{SPEC_METADATA_KEY: spec_dict})
+            self._snapshot = snapshot
+            self._snapshot_stale = False
+        return self._snapshot
+
+    def _effective_kernel(self) -> str:
+        """The kernel actually executed (scalar fallback for samplers
+        without a slab path — the rule every backend's builder applies)."""
+        if self.spec.algorithm == "warplda":
+            return self.spec.kernel
+        from repro.samplers.registry import SAMPLER_REGISTRY
+
+        sampler_cls = SAMPLER_REGISTRY[self.spec.algorithm]
+        return self.spec.kernel if self.spec.kernel in sampler_cls.KERNELS else "scalar"
+
+    def _get_engine(
+        self,
+        strategy: Optional[str] = None,
+        num_iterations: Optional[int] = None,
+        seed: Optional[int] = None,
+    ):
+        from repro.serving.infer import InferenceEngine
+
+        if strategy is None and num_iterations is None and seed is None:
+            if self._engine is None:
+                self._engine = InferenceEngine(self.export_snapshot())
+            return self._engine
+        kwargs: Dict[str, Any] = {}
+        if strategy is not None:
+            kwargs["strategy"] = strategy
+        if num_iterations is not None:
+            kwargs["num_iterations"] = num_iterations
+        if seed is not None:
+            kwargs["seed"] = seed
+        return InferenceEngine(self.export_snapshot(), **kwargs)
+
+    def transform(
+        self,
+        documents: Sequence[Any],
+        strategy: Optional[str] = None,
+        num_iterations: Optional[int] = None,
+        seed: Optional[int] = None,
+    ):
+        """θ inference for unseen documents (one row per document).
+
+        Documents are raw token lists (OOV tokens dropped by the snapshot
+        vocabulary) or word-id arrays.  The default is the deterministic EM
+        fold-in; pass ``strategy="mh"`` (with ``seed``) for the WarpLDA-style
+        Metropolis-Hastings fold-in.
+        """
+        self._require_fitted("transform")
+        engine = self._get_engine(strategy, num_iterations, seed)
+        documents = [_materialize(document) for document in documents]
+        # Route by the first *non-empty* document (empty ones carry no type
+        # information, and an empty leading doc must not send a token batch
+        # down the word-id path).
+        probe = next((d for d in documents if len(d)), None)
+        if probe is not None and _is_token_document(probe):
+            return engine.infer_tokens(documents)
+        return engine.infer_ids(documents)
+
+    def top_topics(
+        self, num_words: int = 10
+    ) -> List[List[Tuple[str, float]]]:
+        """Per topic, the ``num_words`` most probable ``(word, prob)`` pairs."""
+        if num_words <= 0:
+            raise ValueError(f"num_words must be positive, got {num_words}")
+        self._require_fitted("top_topics")
+        snapshot = self.export_snapshot()
+        words = snapshot.vocabulary.words()
+        phi = snapshot.phi
+        num_words = min(num_words, phi.shape[1])
+        topics = []
+        for row in phi:
+            order = row.argsort()[::-1][:num_words]
+            topics.append([(words[w], float(row[w])) for w in order])
+        return topics
+
+    def perplexity(self, documents: Sequence[Any]) -> float:
+        """Held-out perplexity of ``documents`` under the current model."""
+        self._require_fitted("perplexity")
+        return self._get_engine().held_out_perplexity(list(documents))
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the model (snapshot + embedded spec) to ``path``."""
+        return self.export_snapshot().save(path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "LDA":
+        """Reload a model written by :meth:`save` as a ready estimator.
+
+        The spec is recovered from the snapshot metadata; the returned
+        estimator serves immediately (``transform`` / ``top_topics`` /
+        ``perplexity`` / ``serve``) and trains again through
+        ``fit``/``partial_fit`` with the original spec (a snapshot freezes
+        Φ, not the sampler chain — use :class:`repro.training.Checkpoint`
+        for bit-exact training resumption).
+        """
+        from repro.serving.snapshot import ModelSnapshot
+
+        return cls.from_snapshot(ModelSnapshot.load(path))
+
+    @classmethod
+    def from_snapshot(cls, snapshot, spec: Optional[ModelSpec] = None) -> "LDA":
+        """Wrap an existing snapshot; ``spec`` overrides the embedded one."""
+        if spec is None:
+            spec_dict = snapshot.metadata.get(SPEC_METADATA_KEY)
+            if spec_dict is None:
+                raise ValueError(
+                    "snapshot carries no embedded ModelSpec (was it exported "
+                    "outside repro.api?); pass spec= explicitly"
+                )
+            spec = ModelSpec.from_dict(spec_dict)
+        model = cls(spec)
+        model._snapshot = snapshot
+        return model
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def serve(
+        self,
+        strategy: str = "em",
+        num_iterations: int = 30,
+        num_mh_steps: int = 2,
+        seed: Optional[int] = None,
+        follow_registry: bool = True,
+        **server_kwargs: Any,
+    ):
+        """Stand up a :class:`~repro.serving.server.TopicServer` on this model.
+
+        On the online backend (with ``follow_registry=True``) the server
+        attaches to the pipeline's registry and hot-swaps as later
+        ``partial_fit`` calls publish fresh versions; otherwise it serves a
+        frozen export of the current model.  ``server_kwargs`` reach the
+        :class:`~repro.serving.server.TopicServer` constructor
+        (``max_batch_size``, ``cache_capacity``).
+        """
+        self._require_fitted("serve")
+        from repro.serving.server import TopicServer
+
+        following = follow_registry and self._registry is not None
+        if following and self._registry.current_version is not None:
+            return TopicServer.from_registry(
+                self._registry,
+                strategy=strategy,
+                num_iterations=num_iterations,
+                num_mh_steps=num_mh_steps,
+                seed=seed,
+                **server_kwargs,
+            )
+        from repro.serving.infer import InferenceEngine
+
+        engine = InferenceEngine(
+            self.export_snapshot(),
+            strategy=strategy,
+            num_iterations=num_iterations,
+            num_mh_steps=num_mh_steps,
+            seed=seed,
+        )
+        server = TopicServer(engine, **server_kwargs)
+        if following:
+            # Nothing published yet (e.g. publish_every not reached): serve
+            # the current export but still follow the registry, so the
+            # first publish hot-swaps in as documented.
+            server.attach_registry(self._registry)
+        return server
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("this LDA has been closed")
+
+    def close_model(self) -> None:
+        """Release the current engine (stops parallel workers if any)."""
+        if self._model is not None and hasattr(self._model, "close"):
+            self._model.close()
+        self._model = None
+        self._fit_corpus = None
+        self._pipeline = None
+
+    def close(self) -> None:
+        """Release every resource; the estimator is unusable afterwards."""
+        if self._closed:
+            return
+        self.close_model()
+        self._closed = True
+
+    def __enter__(self) -> "LDA":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fitted" if self.fitted else "unfitted"
+        return (
+            f"LDA({self.spec.algorithm}, K={self.spec.num_topics}, "
+            f"backend={self.spec.backend!r}, {state})"
+        )

@@ -1,0 +1,217 @@
+"""The declarative model description: :class:`ModelSpec`.
+
+A :class:`ModelSpec` is the single source of truth for *what* model to train
+and *how* to execute it: the algorithm (any key of
+:data:`repro.samplers.registry.SAMPLER_REGISTRY`), the execution kernel, the
+Dirichlet hyper-parameters, the execution backend (``serial``, ``parallel``
+or ``online``) with its backend-specific options, and the seed.  It validates
+once, at construction — through the same
+:func:`repro.samplers.base.validate_hyperparameters` path every sampler
+constructor uses — and then *lowers* into the existing configuration objects
+(:class:`~repro.core.warplda.WarpLDAConfig`,
+:class:`~repro.training.parallel.TrainerConfig`,
+:class:`~repro.streaming.online.OnlineTrainerConfig`) via the backend
+registry in :mod:`repro.api.backends`.
+
+Specs are JSON-stable: ``to_dict``/``from_dict`` round-trip exactly,
+``from_dict`` rejects unknown keys, and ``save``/``load`` move them through
+spec files.  :meth:`repro.api.LDA.save` embeds the spec dict in the snapshot
+metadata under :data:`SPEC_METADATA_KEY`, so any saved model reloads as a
+ready :class:`~repro.api.LDA`.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Sequence, Union
+
+from repro.api.backends import BACKEND_REGISTRY, get_backend
+from repro.samplers.base import validate_hyperparameters
+from repro.samplers.registry import SAMPLER_REGISTRY
+
+__all__ = ["ModelSpec", "ALGORITHMS", "BACKEND_NAMES", "SPEC_METADATA_KEY"]
+
+#: Algorithms a spec may name (the registry's CLI spellings).
+ALGORITHMS = tuple(sorted(SAMPLER_REGISTRY))
+
+#: Execution backends a spec may name (the backend registry's keys).
+BACKEND_NAMES = tuple(sorted(BACKEND_REGISTRY))
+
+#: Key under which :meth:`repro.api.LDA.save` embeds the spec dict in
+#: :class:`~repro.serving.snapshot.ModelSnapshot` metadata.
+SPEC_METADATA_KEY = "model_spec"
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One declarative description of an LDA model and its execution.
+
+    Attributes
+    ----------
+    num_topics:
+        Number of topics ``K``.
+    algorithm:
+        Sampler name, one of :data:`ALGORITHMS`
+        (``warplda``, ``cgs``, ``sparselda``, ``aliaslda``, ``fpluslda``,
+        ``lightlda``).
+    alpha:
+        Document Dirichlet parameter: a positive scalar, a length-``K``
+        sequence (serial backend only), or ``None`` for the paper's 50/K.
+    beta:
+        Symmetric word Dirichlet parameter.
+    num_mh_steps:
+        MH proposals per token per phase (WarpLDA / LightLDA only; ignored
+        by the exact samplers, like the constructors it lowers to).
+    kernel:
+        ``"slab"`` (vectorised kernels) or ``"scalar"`` (legacy loops).
+    word_proposal:
+        WarpLDA's word-proposal strategy, ``"mixture"`` or ``"alias"``
+        (ignored by the other algorithms).
+    backend:
+        Execution backend: ``"serial"`` (one in-process sampler),
+        ``"parallel"`` (:class:`~repro.training.parallel.ParallelTrainer`)
+        or ``"online"`` (:class:`~repro.streaming.online.OnlineTrainer`
+        behind a :class:`~repro.streaming.pipeline.StreamingPipeline`).
+    backend_options:
+        Backend-specific knobs; unknown keys are rejected.
+        ``parallel``: ``num_workers``, ``iterations_per_epoch``,
+        ``backend`` (``"process"``/``"inline"``).
+        ``online``: ``window_docs``, ``sweeps_per_batch``, ``decay``,
+        ``publish_every``, ``batch_docs``.
+    seed:
+        Integer seed controlling the full trajectory; ``None`` draws OS
+        entropy (and forfeits reproducibility).
+    """
+
+    num_topics: int = 20
+    algorithm: str = "warplda"
+    alpha: Optional[Union[float, Sequence[float]]] = None
+    beta: float = 0.01
+    num_mh_steps: int = 2
+    kernel: str = "slab"
+    word_proposal: str = "mixture"
+    backend: str = "serial"
+    backend_options: Mapping[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in SAMPLER_REGISTRY:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; choose from {ALGORITHMS}"
+            )
+        # Normalise alpha to a JSON-stable form up front: any array-like
+        # (list, tuple, numpy vector) becomes a list of floats, numpy
+        # scalars become plain floats — to_json/save must never crash on a
+        # spec that validated.
+        alpha = self.alpha
+        if alpha is not None and not isinstance(alpha, (int, float)):
+            try:
+                alpha = [float(a) for a in alpha]
+            except TypeError:  # 0-d array / numpy scalar
+                alpha = float(alpha)
+            object.__setattr__(self, "alpha", alpha)
+        validate_hyperparameters(self.num_topics, alpha, self.beta)
+        if self.num_mh_steps <= 0:
+            raise ValueError(
+                f"num_mh_steps must be positive, got {self.num_mh_steps}"
+            )
+        if self.kernel not in ("slab", "scalar"):
+            raise ValueError(f"kernel must be 'slab' or 'scalar', got {self.kernel!r}")
+        if self.word_proposal not in ("mixture", "alias"):
+            raise ValueError(
+                f"word_proposal must be 'mixture' or 'alias', got "
+                f"{self.word_proposal!r}"
+            )
+        backend_impl = get_backend(self.backend)
+        options = dict(self.backend_options or {})
+        unknown = set(options) - backend_impl.option_keys
+        if unknown:
+            raise ValueError(
+                f"unknown {self.backend!r} backend options {sorted(unknown)}; "
+                f"allowed: {sorted(backend_impl.option_keys) or 'none'}"
+            )
+        object.__setattr__(self, "backend_options", options)
+        if self.seed is not None:
+            if isinstance(self.seed, bool) or not isinstance(
+                self.seed, numbers.Integral
+            ):
+                raise ValueError(
+                    f"seed must be an int or None, got {self.seed!r}"
+                )
+            # numpy integers (seed sweeps over np.arange) become plain ints
+            # so the spec stays JSON-stable.
+            object.__setattr__(self, "seed", int(self.seed))
+        # Backend-specific consistency (e.g. vector alpha is serial-only) is
+        # delegated to the lowering path, so a spec that constructs is a
+        # spec that lowers.
+        backend_impl.validate(self)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form; inverse of :meth:`from_dict`."""
+        return {
+            "num_topics": self.num_topics,
+            "algorithm": self.algorithm,
+            "alpha": list(self.alpha) if isinstance(self.alpha, list) else self.alpha,
+            "beta": self.beta,
+            "num_mh_steps": self.num_mh_steps,
+            "kernel": self.kernel,
+            "word_proposal": self.word_proposal,
+            "backend": self.backend,
+            "backend_options": dict(self.backend_options),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ModelSpec":
+        """Build a spec from a (possibly partial) dict; unknown keys raise.
+
+        Missing keys take the dataclass defaults, so a spec file only needs
+        to name what it overrides.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown ModelSpec keys {sorted(unknown)}; known keys: "
+                f"{sorted(known)}"
+            )
+        return cls(**dict(data))
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The spec as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ModelSpec":
+        """Inverse of :meth:`to_json`."""
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(f"a ModelSpec document must be a JSON object, got {type(data).__name__}")
+        return cls.from_dict(data)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the spec as a JSON file; returns the path written."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ModelSpec":
+        """Read a spec written by :meth:`save` (or by hand)."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    # ------------------------------------------------------------------ #
+    def with_options(self, **overrides: Any) -> "ModelSpec":
+        """A copy with top-level fields replaced (re-validated)."""
+        return replace(self, **overrides)
+
+    def with_backend(self, backend: str, **options: Any) -> "ModelSpec":
+        """A copy targeting another backend with fresh backend options."""
+        return replace(self, backend=backend, backend_options=options)

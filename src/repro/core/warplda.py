@@ -44,6 +44,7 @@ Implementation notes
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Union
 
@@ -55,7 +56,7 @@ from repro.evaluation.likelihood import log_joint_likelihood_from_assignments
 from repro.kernels.buckets import corpus_buckets
 from repro.kernels.warp import document_phase as slab_document_phase
 from repro.kernels.warp import word_phase as slab_word_phase
-from repro.samplers.base import resolve_hyperparameters
+from repro.samplers.base import resolve_hyperparameters, validate_hyperparameters
 from repro.sampling.alias import AliasTable
 from repro.sampling.rng import RngLike, ensure_rng, export_rng_state, restore_rng_state
 
@@ -144,8 +145,7 @@ class WarpLDAConfig:
     kernel: str = "slab"
 
     def __post_init__(self) -> None:
-        if self.num_topics <= 0:
-            raise ValueError(f"num_topics must be positive, got {self.num_topics}")
+        validate_hyperparameters(self.num_topics, self.alpha, self.beta)
         if self.num_mh_steps <= 0:
             raise ValueError(f"num_mh_steps must be positive, got {self.num_mh_steps}")
         if self.word_proposal not in ("mixture", "alias"):
@@ -186,7 +186,7 @@ class WarpLDA:
     Examples
     --------
     >>> from repro.corpus import load_preset
-    >>> corpus = load_preset("nytimes_like", scale=0.05, rng=0)
+    >>> corpus = load_preset("nytimes_like", scale=0.05, seed=0)
     >>> model = WarpLDA(corpus, num_topics=10, seed=0).fit(5)
     >>> model.phi().shape[0]
     10
@@ -214,6 +214,14 @@ class WarpLDA:
                 beta=beta,
                 word_proposal=word_proposal,
                 kernel=kernel,
+            )
+        else:
+            warnings.warn(
+                "WarpLDA(config=...) is deprecated; declare the model with "
+                "repro.api.ModelSpec / repro.api.LDA, or use "
+                "WarpLDA.from_config(corpus, config, seed=...)",
+                DeprecationWarning,
+                stacklevel=2,
             )
         self.config = config
         self.corpus = corpus
@@ -251,6 +259,20 @@ class WarpLDA:
         # re-allocates a K-vector per call.
         self._stale_topic_buffer = np.empty(self.num_topics, dtype=np.float64)
         self._external_topic_f64: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_config(
+        cls, corpus: Corpus, config: WarpLDAConfig, seed: RngLike = None
+    ) -> "WarpLDA":
+        """Build a sampler from a pre-validated :class:`WarpLDAConfig`.
+
+        This is the lowering target of :class:`repro.api.ModelSpec` (and the
+        replacement for the deprecated ``WarpLDA(config=...)`` spelling); the
+        two produce bit-identical samplers for the same config and seed.
+        """
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            return cls(corpus, seed=seed, config=config)
 
     # ------------------------------------------------------------------ #
     # Training loop

@@ -30,7 +30,7 @@ from repro.corpus.synthetic import (
     generate_lda_corpus,
     generate_zipf_corpus,
 )
-from repro.sampling.rng import RngLike
+from repro.sampling.rng import RngLike, seed_from_deprecated_rng
 
 __all__ = ["DatasetPreset", "DATASET_PRESETS", "load_preset"]
 
@@ -75,13 +75,19 @@ class DatasetPreset:
             zipf_exponent=self.zipf_exponent,
         )
 
-    def generate(self, scale: float = 1.0, rng: RngLike = None) -> Corpus:
-        """Generate the corpus for this preset at the given scale."""
+    def generate(
+        self, scale: float = 1.0, seed: RngLike = None, *, rng: RngLike = None
+    ) -> Corpus:
+        """Generate the corpus for this preset at the given scale.
+
+        ``rng`` is the deprecated alias for ``seed``.
+        """
+        seed = seed_from_deprecated_rng(seed, rng, "DatasetPreset.generate")
         spec = self.spec(scale)
         if self.generator == "lda":
-            return generate_lda_corpus(spec, rng=rng)
+            return generate_lda_corpus(spec, seed=seed)
         if self.generator == "zipf":
-            return generate_zipf_corpus(spec, rng=rng)
+            return generate_zipf_corpus(spec, seed=seed)
         raise ValueError(f"unknown generator {self.generator!r}")
 
 
@@ -123,17 +129,22 @@ DATASET_PRESETS: Dict[str, DatasetPreset] = {
 }
 
 
-def load_preset(name: str, scale: float = 1.0, rng: RngLike = None) -> Corpus:
+def load_preset(
+    name: str, scale: float = 1.0, seed: RngLike = None, *, rng: RngLike = None
+) -> Corpus:
     """Generate the corpus for preset ``name`` at ``scale``.
+
+    ``rng`` is the deprecated alias for ``seed``.
 
     Raises
     ------
     KeyError
         If ``name`` is not a known preset.
     """
+    seed = seed_from_deprecated_rng(seed, rng, "load_preset")
     try:
         preset = DATASET_PRESETS[name]
     except KeyError:
         known = ", ".join(sorted(DATASET_PRESETS))
         raise KeyError(f"unknown dataset preset {name!r}; known presets: {known}") from None
-    return preset.generate(scale=scale, rng=rng)
+    return preset.generate(scale=scale, seed=seed)

@@ -5,33 +5,51 @@ The paper's headline metric is the **log joint likelihood**
 exactly.  The remaining utilities (held-out perplexity, topic coherence, top
 words, convergence tracking and speedup ratios) support the example
 applications and the Fig. 5 style comparisons.
+
+Like the top-level package, the exports resolve lazily (PEP 562):
+``held_out_perplexity`` runs on the serving layer's batched fold-in kernel,
+and importing :mod:`repro.evaluation` for a likelihood number should not
+drag :mod:`repro.serving` in with it.
 """
 
-from repro.evaluation.coherence import topic_coherence, top_words
-from repro.evaluation.convergence import (
-    ConvergenceRecord,
-    ConvergenceTracker,
-    iterations_to_reach,
-    speedup_ratio,
-    time_to_reach,
-)
-from repro.evaluation.likelihood import (
-    log_joint_likelihood,
-    log_joint_likelihood_from_assignments,
-)
-from repro.evaluation.perplexity import document_topic_inference, held_out_perplexity
+from importlib import import_module
 
-__all__ = [
-    "ConvergenceRecord",
-    "ConvergenceTracker",
-    "document_topic_inference",
-    "held_out_perplexity",
-    "iterations_to_reach",
-    "log_joint_likelihood",
-    "log_joint_likelihood_from_assignments",
-    "speedup_ratio",
-    "time_to_reach",
-    "top_words",
-    "topic_coherence",
-    "time_to_reach",
-]
+#: Exported name → defining submodule, resolved on first attribute access.
+_EXPORTS = {
+    "top_words": "repro.evaluation.coherence",
+    "topic_coherence": "repro.evaluation.coherence",
+    "ConvergenceRecord": "repro.evaluation.convergence",
+    "ConvergenceTracker": "repro.evaluation.convergence",
+    "iterations_to_reach": "repro.evaluation.convergence",
+    "speedup_ratio": "repro.evaluation.convergence",
+    "time_to_reach": "repro.evaluation.convergence",
+    "log_joint_likelihood": "repro.evaluation.likelihood",
+    "log_joint_likelihood_from_assignments": "repro.evaluation.likelihood",
+    "document_topic_inference": "repro.evaluation.perplexity",
+    "held_out_perplexity": "repro.evaluation.perplexity",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        # Keep `repro.evaluation.perplexity`-style submodule access working,
+        # as the eager imports used to bind it.
+        try:
+            value = import_module(f"repro.evaluation.{name}")
+        except ModuleNotFoundError as exc:
+            if exc.name != f"repro.evaluation.{name}":
+                raise
+            raise AttributeError(
+                f"module 'repro.evaluation' has no attribute {name!r}"
+            ) from None
+    else:
+        value = getattr(import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -25,7 +25,12 @@ from repro.evaluation.convergence import ConvergenceTracker
 from repro.evaluation.likelihood import log_joint_likelihood
 from repro.sampling.rng import RngLike, ensure_rng, export_rng_state, restore_rng_state
 
-__all__ = ["TopicState", "LDASampler", "resolve_hyperparameters"]
+__all__ = [
+    "TopicState",
+    "LDASampler",
+    "resolve_hyperparameters",
+    "validate_hyperparameters",
+]
 
 
 def resolve_hyperparameters(
@@ -55,6 +60,22 @@ def resolve_hyperparameters(
     if beta <= 0:
         raise ValueError(f"beta must be positive, got {beta}")
     return alpha_vector, float(alpha_vector.sum()), float(beta), float(beta * vocabulary_size)
+
+
+def validate_hyperparameters(
+    num_topics: int,
+    alpha: Optional[Union[float, np.ndarray]],
+    beta: float,
+) -> None:
+    """Raise the shared ``ValueError`` family for an invalid ``(K, α, β)``.
+
+    Every entry point — the sampler constructors, ``WarpLDAConfig``,
+    ``TrainerConfig``, ``OnlineTrainerConfig`` and ``repro.api.ModelSpec`` —
+    funnels through this one check, so ``num_topics=0`` or a negative ``beta``
+    raises the same error everywhere instead of only where a particular
+    config dataclass happened to validate it.
+    """
+    resolve_hyperparameters(num_topics, alpha, beta, vocabulary_size=1)
 
 
 class TopicState:

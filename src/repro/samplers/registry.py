@@ -1,0 +1,31 @@
+"""The canonical algorithm registry: CLI/spec names → sampler classes.
+
+This is the single place a spelling like ``"warplda"`` is resolved to a
+class.  It lives in :mod:`repro.samplers` (not :mod:`repro.training`, its
+historical home) so that the declarative API layer (:mod:`repro.api`) can
+enumerate and validate algorithm names without importing the training
+stack — and, through it, :mod:`multiprocessing` — at import time.
+:data:`repro.training.parallel.SAMPLER_REGISTRY` re-exports this mapping
+unchanged for existing callers.
+"""
+
+from __future__ import annotations
+
+from repro.core.warplda import WarpLDA
+from repro.samplers.aliaslda import AliasLDASampler
+from repro.samplers.cgs import CollapsedGibbsSampler
+from repro.samplers.fpluslda import FPlusLDASampler
+from repro.samplers.lightlda import LightLDASampler
+from repro.samplers.sparselda import SparseLDASampler
+
+__all__ = ["SAMPLER_REGISTRY"]
+
+#: Samplers addressable by name.  Keys are the CLI / ``ModelSpec`` spellings.
+SAMPLER_REGISTRY = {
+    "warplda": WarpLDA,
+    "cgs": CollapsedGibbsSampler,
+    "sparselda": SparseLDASampler,
+    "aliaslda": AliasLDASampler,
+    "fpluslda": FPlusLDASampler,
+    "lightlda": LightLDASampler,
+}

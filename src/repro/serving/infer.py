@@ -287,7 +287,7 @@ class InferenceEngine:
     >>> from repro import WarpLDA
     >>> from repro.corpus import load_preset
     >>> from repro.serving import InferenceEngine
-    >>> corpus = load_preset("nytimes_like", scale=0.05, rng=0)
+    >>> corpus = load_preset("nytimes_like", scale=0.05, seed=0)
     >>> snapshot = WarpLDA(corpus, num_topics=10, seed=0).fit(5).export_snapshot()
     >>> engine = InferenceEngine(snapshot)
     >>> theta = engine.infer_ids([corpus.document_words(0)])

@@ -222,7 +222,7 @@ class TopicServer:
     >>> from repro import WarpLDA
     >>> from repro.corpus import load_preset
     >>> from repro.serving import InferenceEngine, TopicServer
-    >>> corpus = load_preset("nytimes_like", scale=0.05, rng=0)
+    >>> corpus = load_preset("nytimes_like", scale=0.05, seed=0)
     >>> snapshot = WarpLDA(corpus, num_topics=10, seed=0).fit(5).export_snapshot()
     >>> server = TopicServer(InferenceEngine(snapshot))
     >>> theta = server.infer_batch([corpus.document_words(0)])

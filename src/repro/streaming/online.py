@@ -32,6 +32,7 @@ unchanged.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, Optional, Sequence, Union
 
@@ -40,11 +41,11 @@ import numpy as np
 from repro.core.warplda import WarpLDA
 from repro.corpus.corpus import Corpus, Document
 from repro.corpus.vocabulary import Vocabulary
-from repro.samplers.base import resolve_hyperparameters
+from repro.samplers.base import resolve_hyperparameters, validate_hyperparameters
+from repro.samplers.registry import SAMPLER_REGISTRY
 from repro.sampling.rng import RngLike, ensure_rng
 from repro.streaming.corpus import StreamingCorpus
 from repro.streaming.stream import MiniBatch
-from repro.training.parallel import SAMPLER_REGISTRY
 
 __all__ = ["OnlineTrainer", "OnlineTrainerConfig", "OnlineUpdate"]
 
@@ -94,12 +95,13 @@ class OnlineTrainerConfig:
                 f"unknown sampler {self.sampler!r}; choose from "
                 f"{sorted(SAMPLER_REGISTRY)}"
             )
-        if self.num_topics <= 0:
-            raise ValueError(f"num_topics must be positive, got {self.num_topics}")
-        if self.alpha is not None and self.alpha <= 0:
-            raise ValueError(f"alpha must be positive, got {self.alpha}")
-        if self.beta <= 0:
-            raise ValueError(f"beta must be positive, got {self.beta}")
+        if self.alpha is not None and not isinstance(self.alpha, (int, float)):
+            # The config is JSON-serialised into snapshot metadata; a
+            # length-K alpha vector would train fine and then crash the save.
+            raise ValueError(
+                f"alpha must be a scalar or None, got {type(self.alpha).__name__}"
+            )
+        validate_hyperparameters(self.num_topics, self.alpha, self.beta)
         if self.window_docs <= 0:
             raise ValueError(f"window_docs must be positive, got {self.window_docs}")
         if self.sweeps_per_batch <= 0:
@@ -176,8 +178,16 @@ class OnlineTrainer:
     ):
         if config is None:
             config = OnlineTrainerConfig(**config_kwargs)
-        elif config_kwargs:
-            raise ValueError("pass either config or keyword arguments, not both")
+        else:
+            if config_kwargs:
+                raise ValueError("pass either config or keyword arguments, not both")
+            warnings.warn(
+                "OnlineTrainer(config=...) is deprecated; declare the model "
+                "with repro.api.ModelSpec / repro.api.LDA, or use "
+                "OnlineTrainer.from_config(config, ...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if corpus is None:
             corpus = StreamingCorpus(vocabulary)
         elif corpus.num_documents:
@@ -203,6 +213,25 @@ class OnlineTrainer:
         self.documents_ingested = 0
         self.tokens_ingested = 0
         self.train_seconds = 0.0
+
+    @classmethod
+    def from_config(
+        cls,
+        config: OnlineTrainerConfig,
+        vocabulary: Optional[Vocabulary] = None,
+        corpus: Optional[StreamingCorpus] = None,
+        seed: RngLike = None,
+    ) -> "OnlineTrainer":
+        """Build a trainer from a pre-validated :class:`OnlineTrainerConfig`.
+
+        This is the lowering target of :class:`repro.api.ModelSpec` (and the
+        replacement for the deprecated ``OnlineTrainer(config=...)``
+        spelling); the two produce bit-identical trainers for the same
+        config and seed.
+        """
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            return cls(config=config, vocabulary=vocabulary, corpus=corpus, seed=seed)
 
     # ------------------------------------------------------------------ #
     # Internal state helpers

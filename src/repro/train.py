@@ -1,16 +1,34 @@
-"""``python -m repro.train`` — multiprocess data-parallel LDA training.
+"""``python -m repro.train`` — deprecated alias of ``python -m repro``.
 
-Thin executable wrapper around :mod:`repro.training.cli`; see that module
-(or ``python -m repro.train --help``) for the full interface.
+This is the pre-facade training entry point, kept as a thin shim around
+:mod:`repro.training.cli` so existing scripts keep producing bit-identical
+results.  New work should use the spec-driven ``python -m repro`` subcommands
+(``train`` / ``stream`` / ``serve`` / ``eval``) or the
+:class:`repro.api.LDA` estimator directly.
 """
 
 from __future__ import annotations
 
 import sys
+import warnings
+from typing import Optional, Sequence
 
-from repro.training.cli import build_corpus, build_parser, main
+from repro.training.cli import build_corpus, build_parser
+from repro.training.cli import main as _legacy_main
 
 __all__ = ["build_corpus", "build_parser", "main"]
+
+warnings.warn(
+    "repro.train is deprecated; use `python -m repro` (train/stream/serve/eval) "
+    "or repro.api.LDA instead",
+    DeprecationWarning,
+)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; identical behaviour to the pre-facade CLI."""
+    return _legacy_main(argv)
+
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -242,10 +242,10 @@ class Checkpoint:
                 f"corpus does not match the checkpoint: expected "
                 f"{self.fingerprint}, got {observed}"
             )
-        trainer = ParallelTrainer(
+        trainer = ParallelTrainer.from_config(
             corpus,
+            self.config,
             num_workers=self.num_workers,
-            config=self.config,
             seed=seed,
             backend=backend,
         )

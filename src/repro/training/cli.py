@@ -169,13 +169,13 @@ def build_corpus(args: argparse.Namespace) -> Corpus:
     if args.corpus is not None:
         return read_uci_bow(args.corpus, vocab_path=args.vocab_file)
     if args.preset is not None:
-        return load_preset(args.preset, scale=args.scale, rng=args.corpus_seed)
+        return load_preset(args.preset, scale=args.scale, seed=args.corpus_seed)
     spec = SyntheticCorpusSpec(
         num_documents=args.docs,
         vocabulary_size=args.vocab_size,
         mean_document_length=args.doc_length,
     )
-    return generate_lda_corpus(spec, rng=args.corpus_seed)
+    return generate_lda_corpus(spec, seed=args.corpus_seed)
 
 
 #: Flags the resume path ignores (the checkpoint's own configuration wins),
@@ -270,7 +270,7 @@ def _stream_main(args: argparse.Namespace, corpus: Corpus) -> int:
         decay=args.decay,
         num_mh_steps=args.mh_steps,
     )
-    trainer = OnlineTrainer(config=config, seed=args.seed)
+    trainer = OnlineTrainer.from_config(config, seed=args.seed)
     registry = ModelRegistry(retain=args.retain, directory=args.registry_dir)
     pipeline = StreamingPipeline(trainer, registry, publish_every=args.publish_every)
     stream = DocumentStream(
@@ -358,10 +358,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             iterations_per_epoch=args.iters_per_epoch,
             kernel=args.kernel,
         )
-        trainer = ParallelTrainer(
+        trainer = ParallelTrainer.from_config(
             corpus,
+            config,
             num_workers=args.workers,
-            config=config,
             seed=args.seed,
             backend=args.backend,
         )

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import multiprocessing
 import traceback
+import warnings
 from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -40,25 +41,16 @@ from repro.corpus.corpus import Corpus
 from repro.distributed.partition import contiguous_shards
 from repro.evaluation.convergence import ConvergenceTracker
 from repro.evaluation.likelihood import log_joint_likelihood_from_assignments
-from repro.samplers.aliaslda import AliasLDASampler
-from repro.samplers.base import LDASampler, resolve_hyperparameters
-from repro.samplers.cgs import CollapsedGibbsSampler
-from repro.samplers.fpluslda import FPlusLDASampler
+from repro.samplers.base import (
+    LDASampler,
+    resolve_hyperparameters,
+    validate_hyperparameters,
+)
 from repro.samplers.lightlda import LightLDASampler
-from repro.samplers.sparselda import SparseLDASampler
+from repro.samplers.registry import SAMPLER_REGISTRY
 from repro.sampling.rng import RngLike, spawn_rngs
 
 __all__ = ["ParallelTrainer", "TrainerConfig", "ShardRunner", "SAMPLER_REGISTRY"]
-
-#: Samplers the trainer can shard.  Keys are the CLI spellings.
-SAMPLER_REGISTRY = {
-    "warplda": WarpLDA,
-    "cgs": CollapsedGibbsSampler,
-    "sparselda": SparseLDASampler,
-    "aliaslda": AliasLDASampler,
-    "fpluslda": FPlusLDASampler,
-    "lightlda": LightLDASampler,
-}
 
 BACKENDS = ("process", "inline")
 
@@ -104,12 +96,13 @@ class TrainerConfig:
                 f"unknown sampler {self.sampler!r}; choose from "
                 f"{sorted(SAMPLER_REGISTRY)}"
             )
-        if self.num_topics <= 0:
-            raise ValueError(f"num_topics must be positive, got {self.num_topics}")
-        if self.alpha is not None and self.alpha <= 0:
-            raise ValueError(f"alpha must be positive, got {self.alpha}")
-        if self.beta <= 0:
-            raise ValueError(f"beta must be positive, got {self.beta}")
+        if self.alpha is not None and not isinstance(self.alpha, (int, float)):
+            # The config is JSON-serialised into checkpoint sidecars; a
+            # length-K alpha vector would train fine and then crash the save.
+            raise ValueError(
+                f"alpha must be a scalar or None, got {type(self.alpha).__name__}"
+            )
+        validate_hyperparameters(self.num_topics, self.alpha, self.beta)
         if self.num_mh_steps <= 0:
             raise ValueError(f"num_mh_steps must be positive, got {self.num_mh_steps}")
         if self.iterations_per_epoch <= 0:
@@ -365,7 +358,7 @@ class ParallelTrainer:
     --------
     >>> from repro.corpus import load_preset
     >>> from repro.training import ParallelTrainer
-    >>> corpus = load_preset("nytimes_like", scale=0.05, rng=0)
+    >>> corpus = load_preset("nytimes_like", scale=0.05, seed=0)
     >>> with ParallelTrainer(corpus, num_workers=2, num_topics=10, seed=0,
     ...                      backend="inline") as trainer:
     ...     phi = trainer.train(3).phi()
@@ -384,8 +377,16 @@ class ParallelTrainer:
     ):
         if config is None:
             config = TrainerConfig(**config_kwargs)
-        elif config_kwargs:
-            raise ValueError("pass either config or keyword arguments, not both")
+        else:
+            if config_kwargs:
+                raise ValueError("pass either config or keyword arguments, not both")
+            warnings.warn(
+                "ParallelTrainer(config=...) is deprecated; declare the model "
+                "with repro.api.ModelSpec / repro.api.LDA, or use "
+                "ParallelTrainer.from_config(corpus, config, ...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if num_workers <= 0:
             raise ValueError(f"num_workers must be positive, got {num_workers}")
         if backend not in BACKENDS:
@@ -437,6 +438,32 @@ class ParallelTrainer:
         #: Free-form resume provenance, merged into exported snapshot metadata
         #: (populated by Checkpoint.restore).
         self.provenance: Dict[str, Any] = {}
+
+    @classmethod
+    def from_config(
+        cls,
+        corpus: Corpus,
+        config: TrainerConfig,
+        num_workers: int = 2,
+        seed: RngLike = None,
+        backend: str = "process",
+    ) -> "ParallelTrainer":
+        """Build a trainer from a pre-validated :class:`TrainerConfig`.
+
+        This is the lowering target of :class:`repro.api.ModelSpec` (and the
+        replacement for the deprecated ``ParallelTrainer(config=...)``
+        spelling); the two produce bit-identical trainers for the same
+        config and seed.
+        """
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            return cls(
+                corpus,
+                num_workers=num_workers,
+                config=config,
+                seed=seed,
+                backend=backend,
+            )
 
     # ------------------------------------------------------------------ #
     # Training

@@ -36,7 +36,7 @@ def small_corpus():
         mean_document_length=40,
         num_topics=5,
     )
-    return generate_lda_corpus(spec, rng=7)
+    return generate_lda_corpus(spec, seed=7)
 
 
 @pytest.fixture
@@ -48,4 +48,4 @@ def medium_corpus():
         mean_document_length=60,
         num_topics=8,
     )
-    return generate_lda_corpus(spec, rng=11)
+    return generate_lda_corpus(spec, seed=11)

@@ -1,0 +1,96 @@
+"""Import-time weight guards: the facade must keep ``import repro`` light."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: Modules that must NOT load at `import repro` time.
+HEAVY = (
+    "multiprocessing",
+    "repro.serving",
+    "repro.streaming",
+    "repro.training",
+    "repro.core",
+    "repro.samplers",
+)
+
+
+def _run_python(code: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-c", code], env=env, capture_output=True, text=True
+    )
+
+
+def test_import_repro_is_lazy():
+    code = (
+        "import sys, repro\n"
+        f"bad = [m for m in {HEAVY!r} if m in sys.modules]\n"
+        "assert not bad, f'import repro pulled in {bad}'\n"
+    )
+    result = _run_python(code)
+    assert result.returncode == 0, result.stderr
+
+
+def test_import_repro_api_avoids_heavy_backends():
+    code = (
+        "import sys\n"
+        "from repro.api import LDA, ModelSpec\n"
+        "bad = [m for m in ('multiprocessing', 'repro.serving', 'repro.streaming', "
+        "'repro.training') if m in sys.modules]\n"
+        "assert not bad, f'import repro.api pulled in {bad}'\n"
+    )
+    result = _run_python(code)
+    assert result.returncode == 0, result.stderr
+
+
+def test_lazy_exports_resolve_and_cache():
+    import repro
+
+    assert repro.LDA is not None
+    assert "LDA" in vars(repro)  # cached after first access
+    assert repro.ParallelTrainer.__name__ == "ParallelTrainer"
+    assert set(dir(repro)) >= set(repro._EXPORTS)
+
+
+def test_unknown_attribute_raises():
+    import repro
+
+    try:
+        repro.NoSuchThing
+    except AttributeError as exc:
+        assert "NoSuchThing" in str(exc)
+    else:  # pragma: no cover
+        raise AssertionError("expected AttributeError")
+
+
+def test_submodule_attribute_access_still_works():
+    # The eager __init__ used to bind the subpackages as attributes; the
+    # lazy version must keep `repro.serving`-style access working without
+    # depending on import order.
+    code = (
+        "import repro\n"
+        "assert repro.serving.TopicServer is not None\n"
+        "assert repro.corpus.Corpus is not None\n"
+        "assert repro.evaluation.perplexity.held_out_perplexity is not None\n"
+    )
+    result = _run_python(code)
+    assert result.returncode == 0, result.stderr
+
+
+def test_evaluation_package_is_lazy():
+    code = (
+        "import sys\n"
+        "from repro.evaluation import log_joint_likelihood\n"
+        "assert 'repro.serving' not in sys.modules, 'likelihood pulled in serving'\n"
+        "from repro.evaluation import held_out_perplexity  # noqa: F401\n"
+        "assert 'repro.serving' in sys.modules  # perplexity legitimately needs it\n"
+    )
+    result = _run_python(code)
+    assert result.returncode == 0, result.stderr

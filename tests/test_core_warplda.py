@@ -29,7 +29,10 @@ class TestConfig:
 
     def test_config_object_overrides_kwargs(self, tiny_corpus):
         config = WarpLDAConfig(num_topics=7, num_mh_steps=3)
-        model = WarpLDA(tiny_corpus, num_topics=2, config=config)
+        # Passing config= directly is deprecated in favour of from_config /
+        # repro.api, but must keep working (and still win over the kwargs).
+        with pytest.warns(DeprecationWarning, match="from_config"):
+            model = WarpLDA(tiny_corpus, num_topics=2, config=config)
         assert model.num_topics == 7
         assert model.num_mh_steps == 3
 

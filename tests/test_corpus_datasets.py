@@ -32,18 +32,18 @@ class TestPresets:
 
 class TestGeneration:
     def test_scale_controls_size(self):
-        small = load_preset("nytimes_like", scale=0.05, rng=0)
-        larger = load_preset("nytimes_like", scale=0.1, rng=0)
+        small = load_preset("nytimes_like", scale=0.05, seed=0)
+        larger = load_preset("nytimes_like", scale=0.1, seed=0)
         assert larger.num_documents > small.num_documents
 
     def test_mean_document_length_tracks_paper_ratio(self):
-        corpus = load_preset("pubmed_like", scale=0.05, rng=0)
+        corpus = load_preset("pubmed_like", scale=0.05, seed=0)
         stats = CorpusStatistics.from_corpus(corpus)
         # PubMed's T/D is 90; the Poisson lengths should stay close.
         assert stats.mean_document_length == pytest.approx(90, rel=0.2)
 
     def test_clueweb_preset_uses_zipf_generator(self):
-        corpus = load_preset("clueweb_like", scale=0.05, rng=0)
+        corpus = load_preset("clueweb_like", scale=0.05, seed=0)
         stats = CorpusStatistics.from_corpus(corpus)
         # Power-law corpora concentrate a large token share on the top 1%.
         assert stats.top_words_token_share > 0.1
@@ -51,6 +51,6 @@ class TestGeneration:
     def test_reproducibility(self):
         import numpy as np
 
-        first = load_preset("nytimes_like", scale=0.05, rng=3)
-        second = load_preset("nytimes_like", scale=0.05, rng=3)
+        first = load_preset("nytimes_like", scale=0.05, seed=3)
+        second = load_preset("nytimes_like", scale=0.05, seed=3)
         np.testing.assert_array_equal(first.token_words, second.token_words)

@@ -14,7 +14,7 @@ def corpus():
     spec = SyntheticCorpusSpec(
         num_documents=25, vocabulary_size=40, mean_document_length=12
     )
-    return generate_lda_corpus(spec, rng=0)
+    return generate_lda_corpus(spec, seed=0)
 
 
 class TestCorpusSlice:

@@ -36,7 +36,7 @@ class TestLdaGenerator:
     def test_shapes_and_sizes(self):
         spec = SyntheticCorpusSpec(num_documents=20, vocabulary_size=50,
                                    mean_document_length=30, num_topics=4)
-        corpus = generate_lda_corpus(spec, rng=0)
+        corpus = generate_lda_corpus(spec, seed=0)
         assert corpus.num_documents == 20
         assert corpus.vocabulary_size == 50
         assert corpus.num_tokens > 0
@@ -45,14 +45,14 @@ class TestLdaGenerator:
     def test_reproducible_with_seed(self):
         spec = SyntheticCorpusSpec(num_documents=10, vocabulary_size=30,
                                    mean_document_length=20)
-        first = generate_lda_corpus(spec, rng=5)
-        second = generate_lda_corpus(spec, rng=5)
+        first = generate_lda_corpus(spec, seed=5)
+        second = generate_lda_corpus(spec, seed=5)
         np.testing.assert_array_equal(first.token_words, second.token_words)
 
     def test_return_truth_shapes(self):
         spec = SyntheticCorpusSpec(num_documents=8, vocabulary_size=25,
                                    mean_document_length=15, num_topics=3)
-        corpus, theta, phi = generate_lda_corpus(spec, rng=1, return_truth=True)
+        corpus, theta, phi = generate_lda_corpus(spec, seed=1, return_truth=True)
         assert theta.shape == (8, 3)
         assert phi.shape == (3, 25)
         np.testing.assert_allclose(theta.sum(axis=1), 1.0)
@@ -61,7 +61,7 @@ class TestLdaGenerator:
     def test_mean_document_length_is_respected(self):
         spec = SyntheticCorpusSpec(num_documents=200, vocabulary_size=50,
                                    mean_document_length=40)
-        corpus = generate_lda_corpus(spec, rng=2)
+        corpus = generate_lda_corpus(spec, seed=2)
         assert corpus.document_lengths().mean() == pytest.approx(40, rel=0.15)
 
 
@@ -69,7 +69,7 @@ class TestZipfGenerator:
     def test_word_frequencies_are_skewed(self):
         spec = SyntheticCorpusSpec(num_documents=100, vocabulary_size=200,
                                    mean_document_length=100, zipf_exponent=1.1)
-        corpus = generate_zipf_corpus(spec, rng=0)
+        corpus = generate_zipf_corpus(spec, seed=0)
         frequencies = np.sort(corpus.word_frequencies())[::-1]
         # Power law: the top 1% of words take a disproportionate token share.
         top_share = frequencies[:2].sum() / corpus.num_tokens
@@ -78,6 +78,6 @@ class TestZipfGenerator:
     def test_reproducible_with_seed(self):
         spec = SyntheticCorpusSpec(num_documents=10, vocabulary_size=40,
                                    mean_document_length=20)
-        first = generate_zipf_corpus(spec, rng=9)
-        second = generate_zipf_corpus(spec, rng=9)
+        first = generate_zipf_corpus(spec, seed=9)
+        second = generate_zipf_corpus(spec, seed=9)
         np.testing.assert_array_equal(first.token_words, second.token_words)

@@ -29,7 +29,7 @@ class TestTrainEvaluatePipeline:
         spec = SyntheticCorpusSpec(
             num_documents=80, vocabulary_size=100, mean_document_length=60, num_topics=5,
         )
-        corpus = generate_lda_corpus(spec, rng=3)
+        corpus = generate_lda_corpus(spec, seed=3)
         train, held_out = corpus.split(0.8, rng=3)
 
         model = WarpLDA(train, num_topics=5, seed=0, num_mh_steps=2).fit(40)
@@ -50,7 +50,7 @@ class TestTrainEvaluatePipeline:
         assert np.isfinite(model.log_likelihood())
 
     def test_preset_statistics_shape(self):
-        corpus = load_preset("nytimes_like", scale=0.05, rng=1)
+        corpus = load_preset("nytimes_like", scale=0.05, seed=1)
         stats = CorpusStatistics.from_corpus(corpus)
         row = stats.as_table_row()
         assert row["T/D"] == pytest.approx(332, rel=0.2)

@@ -36,7 +36,7 @@ def sharp_corpus():
         doc_topic_concentration=0.05,
         topic_word_concentration=0.02,
     )
-    return generate_lda_corpus(spec, rng=0)
+    return generate_lda_corpus(spec, seed=0)
 
 
 @pytest.fixture(scope="module")

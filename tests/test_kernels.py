@@ -21,7 +21,7 @@ def corpus():
     spec = SyntheticCorpusSpec(
         num_documents=40, vocabulary_size=80, mean_document_length=30, num_topics=4
     )
-    return generate_lda_corpus(spec, rng=3)
+    return generate_lda_corpus(spec, seed=3)
 
 
 class TestBuckets:

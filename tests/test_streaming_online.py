@@ -27,7 +27,7 @@ def synthetic_split():
         num_topics=5,
         topic_word_concentration=0.05,
     )
-    full = generate_lda_corpus(spec, rng=0)
+    full = generate_lda_corpus(spec, seed=0)
     return full.split(0.8, rng=1)
 
 

@@ -30,7 +30,7 @@ def small_corpus():
     spec = SyntheticCorpusSpec(
         num_documents=60, vocabulary_size=120, mean_document_length=25, num_topics=4
     )
-    return generate_lda_corpus(spec, rng=0)
+    return generate_lda_corpus(spec, seed=0)
 
 
 class TestHotSwap:

@@ -108,7 +108,7 @@ class TestEndToEnd:
             SyntheticCorpusSpec(
                 num_documents=15, vocabulary_size=30, mean_document_length=10
             ),
-            rng=0,
+            seed=0,
         )
         write_uci_bow(corpus, tmp_path / "docword.txt")
         code = main([

@@ -16,7 +16,7 @@ def corpus():
     spec = SyntheticCorpusSpec(
         num_documents=30, vocabulary_size=60, mean_document_length=20, num_topics=4
     )
-    return generate_lda_corpus(spec, rng=1)
+    return generate_lda_corpus(spec, seed=1)
 
 
 @pytest.fixture()
@@ -151,14 +151,14 @@ class TestResume:
                 mean_document_length=20,
                 num_topics=4,
             ),
-            rng=999,
+            seed=999,
         )
         with pytest.raises(ValueError, match="does not match"):
             ParallelTrainer.resume(tmp_path / "ckpt", other, backend="inline")
 
     def test_fingerprint_distinguishes_corpora(self, corpus):
         other = generate_lda_corpus(
-            SyntheticCorpusSpec(num_documents=31, vocabulary_size=60), rng=1
+            SyntheticCorpusSpec(num_documents=31, vocabulary_size=60), seed=1
         )
         assert corpus_fingerprint(corpus) != corpus_fingerprint(other)
         assert corpus_fingerprint(corpus) == corpus_fingerprint(corpus)

@@ -72,7 +72,7 @@ class TestParallelDeterminism:
         spec = SyntheticCorpusSpec(
             num_documents=36, vocabulary_size=70, mean_document_length=20, num_topics=4
         )
-        return generate_lda_corpus(spec, rng=3)
+        return generate_lda_corpus(spec, seed=3)
 
     def run(self, corpus, tmp_path, tag, backend):
         with ParallelTrainer(

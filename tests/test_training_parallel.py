@@ -12,7 +12,7 @@ def corpus():
     spec = SyntheticCorpusSpec(
         num_documents=40, vocabulary_size=80, mean_document_length=25, num_topics=5
     )
-    return generate_lda_corpus(spec, rng=0)
+    return generate_lda_corpus(spec, seed=0)
 
 
 def global_counts_from_assignments(corpus, assignments, num_topics):
