@@ -17,8 +17,8 @@ Three questions, one table each:
 """
 
 import os
-import time
 
+import _harness
 from repro.core import WarpLDA
 from repro.corpus import load_preset
 from repro.distributed import ClusterConfig, SimulatedCluster
@@ -39,13 +39,14 @@ def run_parallel_training_bench():
 
     # Serial reference.
     serial = WarpLDA(train, num_topics=NUM_TOPICS, seed=SEED)
-    started = time.perf_counter()
-    serial.fit(NUM_EPOCHS)
-    serial_seconds = time.perf_counter() - started
+    _, serial_seconds = _harness.timed(serial.fit, NUM_EPOCHS)
     serial_perplexity = held_out_perplexity(heldout, serial.phi(), serial.alpha)
 
     rows = []
     for workers in WORKER_COUNTS:
+        # Each worker count trains inside its own repro.obs recording; the
+        # trainer instruments per-shard epoch time, merge-barrier waits and
+        # shard skew, so the table can show *where* the wall-clock went.
         with ParallelTrainer(
             train,
             num_workers=workers,
@@ -53,14 +54,15 @@ def run_parallel_training_bench():
             seed=SEED,
             backend="process",
         ) as trainer:
-            started = time.perf_counter()
-            trainer.train(NUM_EPOCHS)
-            parallel_seconds = time.perf_counter() - started
+            with _harness.recording() as session:
+                _, parallel_seconds = _harness.timed(trainer.train, NUM_EPOCHS)
             perplexity = held_out_perplexity(heldout, trainer.phi(), trainer.alpha)
+        digest = _harness.telemetry_digest(session)
 
         cluster = SimulatedCluster(train, ClusterConfig(num_workers=workers))
         measured_speedup = serial_seconds / parallel_seconds
         predicted_speedup = cluster.predicted_speedup(serial_seconds / NUM_EPOCHS)
+        barrier = digest["histograms"].get("parallel.barrier_wait_seconds", {})
         rows.append(
             {
                 "workers": workers,
@@ -69,6 +71,9 @@ def run_parallel_training_bench():
                 "predicted_speedup": predicted_speedup,
                 "perplexity": perplexity,
                 "gap_pct": 100.0 * (perplexity - serial_perplexity) / serial_perplexity,
+                "barrier_p95_ms": 1e3 * barrier.get("p95", 0.0),
+                "shard_skew_ms": 1e3
+                * digest["gauges"].get("parallel.shard_skew_seconds", 0.0),
             }
         )
 
@@ -94,6 +99,8 @@ def test_parallel_training(benchmark, emit):
                 "modelled": f"{row['predicted_speedup']:.2f}x",
                 "perplexity": f"{row['perplexity']:.1f}",
                 "vs serial": f"{row['gap_pct']:+.2f}%",
+                "barrier p95": f"{row['barrier_p95_ms']:.1f}ms",
+                "shard skew": f"{row['shard_skew_ms']:.1f}ms",
             }
             for row in results["rows"]
         ],

@@ -20,24 +20,23 @@ or quickly on a tiny corpus (CI smoke)::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
-import time
 from pathlib import Path
 from typing import Dict, List
 
 import numpy as np
 
+import _harness
 from repro.core.warplda import WarpLDA
 from repro.corpus import SyntheticCorpusSpec, generate_lda_corpus
 from repro.evaluation.perplexity import held_out_perplexity
+from repro.obs import Telemetry
 from repro.samplers import (
     AliasLDASampler,
     CollapsedGibbsSampler,
     LightLDASampler,
 )
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
+REPO_ROOT = _harness.REPO_ROOT
 
 #: Per-sampler multiplier on ``--iterations`` for the *perplexity* runs.
 #: The MH-proposal baselines converge more slowly per sweep than the exact
@@ -115,22 +114,32 @@ def bench_corpus(args: argparse.Namespace):
 
 
 def bench_sampler(
-    name: str, train, held, args: argparse.Namespace
+    name: str, train, held, args: argparse.Namespace, master: Telemetry
 ) -> Dict[str, object]:
-    """Time both paths of one sampler and measure held-out perplexity."""
+    """Time both paths of one sampler and measure held-out perplexity.
+
+    The first (timed) seed of each path runs inside a ``repro.obs`` recording
+    session, so the samplers' own instrumentation supplies the MH acceptance
+    rates per path and the whole-bench digest absorbed into ``master``.  The
+    probe cost is a handful of dict updates per sweep, paid identically by
+    both paths, so the scalar-vs-slab speedup is unaffected.
+    """
     build = BENCH_SAMPLERS[name]
     iterations = args.iterations * ITERATION_MULTIPLIER.get(name, 1)
     result: Dict[str, object] = {"iterations": iterations}
     for kernel in ("scalar", "slab"):
         perplexities: List[float] = []
         elapsed = 0.0
+        counters: Dict[str, float] = {}
         for index, seed in enumerate(args.seeds):
             sampler = build(train, args.topics, seed, kernel)
-            start = time.perf_counter()
-            sampler.fit(iterations)
-            duration = time.perf_counter() - start
             if index == 0:
-                elapsed = duration
+                with _harness.recording() as session:
+                    _, elapsed = _harness.timed(sampler.fit, iterations)
+                counters = session.registry.to_dict()["counters"]
+                master.absorb(session.export_payload())
+            else:
+                sampler.fit(iterations)
             perplexities.append(
                 held_out_perplexity(held, sampler.phi(), sampler.alpha)
             )
@@ -140,6 +149,12 @@ def bench_sampler(
             "tokens_per_sec": round(tokens / elapsed, 1),
             "perplexity": round(float(np.mean(perplexities)), 4),
         }
+        for chain in ("doc_proposal", "word_proposal"):
+            proposed = counters.get(f"mh.{chain}.proposed", 0)
+            if proposed:
+                result[kernel][f"{chain}_acceptance"] = round(
+                    counters.get(f"mh.{chain}.accepted", 0) / proposed, 4
+                )
     scalar, slab = result["scalar"], result["slab"]
     result["speedup"] = round(
         slab["tokens_per_sec"] / scalar["tokens_per_sec"], 2
@@ -167,9 +182,12 @@ def main(argv=None) -> int:
         f"{args.iterations} iterations, seeds {args.seeds}"
     )
 
+    # Per-run sessions are absorbed into one master so the report's digest
+    # spans the whole bench (aggregate tokens sampled, span histograms).
+    master = Telemetry()
     samplers: Dict[str, object] = {}
     for name in args.samplers:
-        samplers[name] = bench_sampler(name, train, held, args)
+        samplers[name] = bench_sampler(name, train, held, args, master)
         row = samplers[name]
         print(
             f"{name:>9}: scalar {row['scalar']['tokens_per_sec']:>12,.0f} tok/s"
@@ -178,27 +196,27 @@ def main(argv=None) -> int:
             f"  perplexity gap {row['perplexity_gap']:.2%}"
         )
 
-    report = {
-        "benchmark": "sampling_throughput",
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "corpus": {
-            "documents": corpus.num_documents,
-            "tokens": corpus.num_tokens,
-            "vocabulary": corpus.vocabulary_size,
-            "train_tokens": train.num_tokens,
-            "held_out_tokens": held.num_tokens,
+    _harness.write_report(
+        args.output,
+        "sampling_throughput",
+        {
+            "corpus": {
+                "documents": corpus.num_documents,
+                "tokens": corpus.num_tokens,
+                "vocabulary": corpus.vocabulary_size,
+                "train_tokens": train.num_tokens,
+                "held_out_tokens": held.num_tokens,
+            },
+            "config": {
+                "topics": args.topics,
+                "iterations": args.iterations,
+                "seeds": list(args.seeds),
+                "smoke": bool(args.smoke),
+            },
+            "samplers": samplers,
         },
-        "config": {
-            "topics": args.topics,
-            "iterations": args.iterations,
-            "seeds": list(args.seeds),
-            "smoke": bool(args.smoke),
-        },
-        "samplers": samplers,
-    }
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.output}")
+        telemetry=master,
+    )
     return 0
 
 

@@ -12,10 +12,9 @@ NYTimes-like corpus:
    repeats, showing cache hit rate, micro-batch count and latency percentiles.
 """
 
-import time
-
 import numpy as np
 
+import _harness
 from repro import WarpLDA
 from repro.corpus import load_preset
 from repro.serving import InferenceEngine, TopicServer, em_fold_in
@@ -63,27 +62,22 @@ def run_serving_bench():
     ]
     total_tokens = int(sum(doc.size for doc in documents))
 
-    started = time.perf_counter()
-    theta_loop = per_document_em(
-        documents, snapshot.phi, snapshot.alpha, FOLD_IN_ITERATIONS
+    theta_loop, loop_seconds = _harness.timed(
+        per_document_em, documents, snapshot.phi, snapshot.alpha, FOLD_IN_ITERATIONS
     )
-    loop_seconds = time.perf_counter() - started
-
-    started = time.perf_counter()
-    theta_batched = em_fold_in(
-        documents, snapshot.phi, snapshot.alpha, FOLD_IN_ITERATIONS
+    theta_batched, batched_seconds = _harness.timed(
+        em_fold_in, documents, snapshot.phi, snapshot.alpha, FOLD_IN_ITERATIONS
     )
-    batched_seconds = time.perf_counter() - started
     np.testing.assert_allclose(theta_batched, theta_loop, rtol=1e-8, atol=1e-10)
 
     mh_engine = InferenceEngine(
         snapshot, strategy="mh", num_iterations=FOLD_IN_ITERATIONS, seed=0
     )
-    started = time.perf_counter()
-    mh_engine.infer_ids(documents)
-    mh_seconds = time.perf_counter() - started
+    _, mh_seconds = _harness.timed(mh_engine.infer_ids, documents)
 
     # Zipf-like repeated traffic against the server (hot documents dominate).
+    # The server instruments itself, so recording the traffic phase yields
+    # the serving.* counters and latency histograms alongside ServerStats.
     server = TopicServer(
         InferenceEngine(snapshot, num_iterations=FOLD_IN_ITERATIONS),
         max_batch_size=64,
@@ -91,8 +85,9 @@ def run_serving_bench():
     )
     ranks = rng.zipf(1.3, size=2 * NUM_UNSEEN_DOCS)
     traffic = [documents[int(r - 1) % len(documents)] for r in ranks]
-    for start in range(0, len(traffic), 100):
-        server.infer_batch(traffic[start : start + 100])
+    with _harness.recording() as session:
+        for start in range(0, len(traffic), 100):
+            server.infer_batch(traffic[start : start + 100])
 
     return {
         "total_tokens": total_tokens,
@@ -101,6 +96,7 @@ def run_serving_bench():
         "mh_seconds": mh_seconds,
         "speedup": loop_seconds / batched_seconds,
         "server": server,
+        "telemetry": _harness.telemetry_digest(session),
     }
 
 
@@ -123,11 +119,26 @@ def test_serving_throughput(benchmark, emit):
         "",
         "TopicServer under Zipf-repeated traffic:",
     ]
-    lines += ["  " + line for line in results["server"].stats().summary().splitlines()]
+    stats = results["server"].stats()
+    lines += ["  " + line for line in stats.summary().splitlines()]
+    digest = results["telemetry"]
+    request_hist = digest["histograms"].get("serving.request_seconds", {})
+    lines += [
+        "",
+        "repro.obs digest of the traffic phase:",
+        f"  serving.requests {digest['counters'].get('serving.requests', 0):.0f}, "
+        f"cache_hits {digest['counters'].get('serving.cache_hits', 0):.0f}",
+        f"  request_seconds p50 {request_hist.get('p50', 0.0) * 1e3:.3f} ms, "
+        f"p95 {request_hist.get('p95', 0.0) * 1e3:.3f} ms",
+    ]
     emit("serving_throughput", "\n".join(lines))
 
     # The batched kernel must clearly beat the per-document loop on a
     # 400-doc batch (measured ~6x locally; generous margin for slow CI).
     assert results["speedup"] > 1.5
     # Repeated traffic must hit the cache.
-    assert results["server"].stats().cache_hit_rate > 0.3
+    assert stats.cache_hit_rate > 0.3
+    # The obs counters and ServerStats watch the same traffic; they must
+    # agree exactly (the whole replay happened inside the recording window).
+    assert digest["counters"].get("serving.requests") == stats.requests
+    assert digest["counters"].get("serving.cache_hits") == stats.cache_hits

@@ -26,15 +26,15 @@ or quickly on a tiny corpus (CI smoke)::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import time
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+import _harness
 from repro.corpus import SyntheticCorpusSpec, generate_lda_corpus
+from repro.obs import Telemetry
 from repro.serving import TopicServer
 from repro.streaming import (
     DocumentStream,
@@ -44,7 +44,7 @@ from repro.streaming import (
     StreamingPipeline,
 )
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
+REPO_ROOT = _harness.REPO_ROOT
 
 #: Queries fired at the hot server after every ingested batch.
 QUERIES_PER_BATCH = 16
@@ -62,8 +62,15 @@ def run_streaming_bench(
     publish_every: int,
     seed: int,
     sampler: str = "warplda",
-) -> Dict:
-    """Replay one synthetic stream end to end; returns the measured record."""
+) -> Tuple[Dict, Telemetry]:
+    """Replay one synthetic stream end to end.
+
+    Returns ``(record, session)``: the measured record plus the ``repro.obs``
+    recording session that was active for the whole replay — the pipeline,
+    registry and server instrument themselves, so the session holds the
+    streaming latency histograms, per-batch ``ingest_report`` events and
+    serving counters without any bench-side bookkeeping.
+    """
     spec = SyntheticCorpusSpec(
         num_documents=num_documents,
         vocabulary_size=vocabulary_size,
@@ -98,23 +105,24 @@ def run_streaming_bench(
     servable_latencies: List[float] = []
     versions_published = 0
     started = time.perf_counter()
-    for batch in stream.batches(raw_documents):
-        report = pipeline.ingest(batch)
-        if report.published is not None:
-            versions_published += 1
-        if report.ingest_to_servable_seconds is not None:
-            servable_latencies.append(report.ingest_to_servable_seconds)
-        if report.published is not None and server is None:
-            # First publish: bring up a hot-swapping server mid-stream.
-            server = TopicServer.from_registry(registry, seed=seed)
-            pipeline.server = server
-        if server is not None:
-            # Serve live traffic between batches (hot-swap happens here too).
-            queries = [
-                raw_documents[int(rng.integers(len(raw_documents)))]
-                for _ in range(QUERIES_PER_BATCH)
-            ]
-            server.infer_batch(queries)
+    with _harness.recording() as session:
+        for batch in stream.batches(raw_documents):
+            report = pipeline.ingest(batch)
+            if report.published is not None:
+                versions_published += 1
+            if report.ingest_to_servable_seconds is not None:
+                servable_latencies.append(report.ingest_to_servable_seconds)
+            if report.published is not None and server is None:
+                # First publish: bring up a hot-swapping server mid-stream.
+                server = TopicServer.from_registry(registry, seed=seed)
+                pipeline.server = server
+            if server is not None:
+                # Serve live traffic between batches (hot-swap happens here too).
+                queries = [
+                    raw_documents[int(rng.integers(len(raw_documents)))]
+                    for _ in range(QUERIES_PER_BATCH)
+                ]
+                server.infer_batch(queries)
     elapsed = time.perf_counter() - started
 
     if server is None or not servable_latencies:
@@ -159,7 +167,7 @@ def run_streaming_bench(
             "bucket_reuses": dict(trainer.corpus.bucket_reuses),
             "bucket_rebuilds": dict(trainer.corpus.bucket_rebuilds),
         },
-    }
+    }, session
 
 
 def main(argv=None) -> int:
@@ -175,7 +183,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.smoke:
-        record = run_streaming_bench(
+        record, session = run_streaming_bench(
             num_documents=120,
             vocabulary_size=300,
             mean_length=30,
@@ -188,7 +196,7 @@ def main(argv=None) -> int:
             seed=args.seed,
         )
     else:
-        record = run_streaming_bench(
+        record, session = run_streaming_bench(
             num_documents=4000,
             vocabulary_size=5000,
             mean_length=60,
@@ -201,14 +209,12 @@ def main(argv=None) -> int:
             seed=args.seed,
         )
 
-    payload = {
-        "benchmark": "streaming",
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "smoke": args.smoke,
-        **record,
-    }
-    args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    _harness.write_report(
+        args.output,
+        "streaming",
+        {"smoke": args.smoke, **record},
+        telemetry=session,
+    )
 
     results = record["results"]
     pct = results["ingest_to_servable_ms"]
@@ -222,7 +228,6 @@ def main(argv=None) -> int:
         f"(max {pct['max']} ms); {results['versions_published']} versions, "
         f"{results['hot_swaps']} hot swaps, served v{results['served_version']}"
     )
-    print(f"wrote {args.output}")
     return 0
 
 

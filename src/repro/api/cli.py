@@ -42,6 +42,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -115,6 +116,7 @@ _SPEC_FIELD_FLAGS = (
     ("kernel", "kernel"),
     ("word_proposal", "word_proposal"),
     ("seed", "seed"),
+    ("telemetry", "telemetry"),
 )
 
 #: Backend-option flags: ``(argparse dest, backend, option key)``.
@@ -147,6 +149,13 @@ def _add_spec_arguments(
     model.add_argument("--kernel", choices=("slab", "scalar"))
     model.add_argument("--word-proposal", choices=("mixture", "alias"))
     model.add_argument("--seed", type=int, help="master seed")
+    model.add_argument(
+        "--telemetry",
+        type=str,
+        metavar="PATH",
+        help="write a repro.obs JSONL trace here (metrics digest lands "
+        "next to it as PATH-with-.metrics.json)",
+    )
     if fixed_backend is None:
         model.add_argument(
             "--backend",
@@ -217,6 +226,40 @@ def build_spec(
     return spec
 
 
+def _print_run_report(model: LDA) -> None:
+    """Render the human-readable telemetry digest of a facade-driven run."""
+    session = model.telemetry
+    if session is None:
+        return
+    from repro.obs import render_report
+
+    print(render_report(session.registry))
+    print(
+        f"telemetry trace {session.trace_path}  "
+        f"metrics {session.metrics_path} (written on close)"
+    )
+
+
+@contextmanager
+def _serving_telemetry(path: Optional[Path]):
+    """Scoped telemetry for the model-loading subcommands (serve / eval),
+    whose models carry no spec telemetry; prints the report on exit."""
+    if path is None:
+        yield None
+        return
+    from repro.obs import Telemetry, render_report, use_telemetry
+
+    trace = Path(path)
+    session = Telemetry(trace, metrics_path=trace.with_suffix(".metrics.json"))
+    try:
+        with use_telemetry(session):
+            yield session
+    finally:
+        session.close()
+        print(render_report(session.registry))
+        print(f"telemetry trace {trace}  metrics {session.metrics_path}")
+
+
 def _read_documents(path: Path) -> List[List[str]]:
     """One whitespace-tokenized document per non-empty line."""
     documents = [line.split() for line in path.read_text(encoding="utf-8").splitlines()]
@@ -257,6 +300,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         if args.snapshot_out is not None:
             written = model.save(args.snapshot_out)
             print(f"serving snapshot written to {written}")
+        _print_run_report(model)
     return 0
 
 
@@ -305,6 +349,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if args.snapshot_out is not None:
         written = model.save(args.snapshot_out)
         print(f"serving snapshot written to {written}")
+    _print_run_report(model)
+    model.close()
     return 0
 
 
@@ -347,7 +393,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("pass --input FILE (one document per line) to answer queries")
         return 0
     documents = _read_documents(args.input)
-    theta = server.infer_batch(documents)
+    with _serving_telemetry(args.telemetry):
+        theta = server.infer_batch(documents)
     for row, document in zip(theta, documents):
         top = int(row.argmax())
         preview = " ".join(document[:6])
@@ -370,7 +417,8 @@ def _cmd_eval(args: argparse.Namespace) -> int:
             [vocabulary.word(w) for w in corpus.document_words(d)]
             for d in range(corpus.num_documents)
         ]
-    perplexity = model.perplexity(documents)
+    with _serving_telemetry(args.telemetry):
+        perplexity = model.perplexity(documents)
     print(f"documents {len(documents)}  held-out perplexity {perplexity:.2f}")
     for index, topic in enumerate(model.top_topics(args.top_words)):
         rendered = " ".join(word for word, _ in topic)
@@ -429,6 +477,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, help="seed for --strategy mh")
     serve.add_argument("--max-batch-size", type=int, default=64)
     serve.add_argument("--top-words", type=int, default=8)
+    serve.add_argument(
+        "--telemetry", type=Path, metavar="PATH",
+        help="write a repro.obs JSONL trace of the serving calls here",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     evaluate = commands.add_parser(
@@ -442,6 +494,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--input", type=Path, help="documents, one whitespace-tokenized per line"
     )
     evaluate.add_argument("--top-words", type=int, default=8)
+    evaluate.add_argument(
+        "--telemetry", type=Path, metavar="PATH",
+        help="write a repro.obs JSONL trace of the evaluation here",
+    )
     _add_corpus_arguments(evaluate)
     evaluate.set_defaults(func=_cmd_eval)
     return parser

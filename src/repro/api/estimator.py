@@ -31,6 +31,7 @@ spec actually reaches them.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -115,6 +116,7 @@ class LDA:
         self._snapshot: Optional[Any] = None
         self._snapshot_stale = False
         self._engine: Optional[Any] = None
+        self._telemetry: Optional[Any] = None
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -157,6 +159,36 @@ class LDA:
         self._registry = registry
         return self
 
+    @property
+    def telemetry(self) -> Optional[Any]:
+        """The :class:`repro.obs.Telemetry` session for ``spec.telemetry``.
+
+        ``None`` when the spec names no telemetry path.  Created on first
+        access (so merely constructing an LDA never touches the filesystem);
+        the JSONL trace streams to the spec's path during training and the
+        metrics digest is written next to it on :meth:`close`.
+        """
+        if self.spec.telemetry is None:
+            return None
+        if self._telemetry is None:
+            from repro.obs import Telemetry
+
+            trace = Path(self.spec.telemetry)
+            self._telemetry = Telemetry(
+                trace, metrics_path=trace.with_suffix(".metrics.json")
+            )
+        return self._telemetry
+
+    def _activate(self):
+        """Scoped telemetry activation for training calls (no-op context
+        when the spec names no telemetry path)."""
+        session = self.telemetry
+        if session is None:
+            return nullcontext()
+        from repro.obs import use_telemetry
+
+        return use_telemetry(session)
+
     def _require_fitted(self, what: str) -> None:
         if not self.fitted:
             raise RuntimeError(
@@ -198,10 +230,11 @@ class LDA:
                 self.close_model()
             self._model = self._backend.build(self.spec, corpus)
             self._fit_corpus = corpus
-        if self.spec.backend == "parallel":
-            self._model.train(num_iterations, tracker=tracker)
-        else:
-            self._model.fit(num_iterations, tracker=tracker)
+        with self._activate():
+            if self.spec.backend == "parallel":
+                self._model.train(num_iterations, tracker=tracker)
+            else:
+                self._model.fit(num_iterations, tracker=tracker)
         self._mark_trained()
         return self
 
@@ -243,7 +276,8 @@ class LDA:
                 else document
                 for document in documents
             ]
-        report = self._pipeline.ingest(batch)
+        with self._activate():
+            report = self._pipeline.ingest(batch)
         self._mark_trained()
         return report
 
@@ -265,6 +299,10 @@ class LDA:
             # so rather than echo the requested default.
             spec_dict = self.spec.to_dict()
             spec_dict["kernel"] = self._effective_kernel()
+            # Telemetry is a property of the *run*, not the model: a loaded
+            # model must not silently reopen (and truncate) the training
+            # run's trace file.
+            spec_dict["telemetry"] = None
             if snapshot.metadata.get(SPEC_METADATA_KEY) != spec_dict:
                 snapshot = snapshot.with_metadata(**{SPEC_METADATA_KEY: spec_dict})
             self._snapshot = snapshot
@@ -457,6 +495,9 @@ class LDA:
         if self._closed:
             return
         self.close_model()
+        if self._telemetry is not None:
+            self._telemetry.close()
+            self._telemetry = None
         self._closed = True
 
     def __enter__(self) -> "LDA":

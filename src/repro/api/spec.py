@@ -84,6 +84,14 @@ class ModelSpec:
     seed:
         Integer seed controlling the full trajectory; ``None`` draws OS
         entropy (and forfeits reproducibility).
+    telemetry:
+        Optional path for the :mod:`repro.obs` JSONL trace.  When set,
+        :class:`repro.api.LDA` activates a telemetry session around every
+        ``fit``/``partial_fit`` and writes the metrics digest next to the
+        trace (``out.jsonl`` → ``out.metrics.json``) on close.  ``None``
+        (the default) keeps the zero-overhead no-op telemetry.  Telemetry
+        never affects the sampled trajectory — instrumented and plain runs
+        are bit-identical.
     """
 
     num_topics: int = 20
@@ -96,6 +104,7 @@ class ModelSpec:
     backend: str = "serial"
     backend_options: Mapping[str, Any] = field(default_factory=dict)
     seed: Optional[int] = None
+    telemetry: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in SAMPLER_REGISTRY:
@@ -144,6 +153,13 @@ class ModelSpec:
             # numpy integers (seed sweeps over np.arange) become plain ints
             # so the spec stays JSON-stable.
             object.__setattr__(self, "seed", int(self.seed))
+        if self.telemetry is not None:
+            # Accept Path objects but store the JSON-stable string form.
+            if not isinstance(self.telemetry, (str, Path)):
+                raise ValueError(
+                    f"telemetry must be a path or None, got {self.telemetry!r}"
+                )
+            object.__setattr__(self, "telemetry", str(self.telemetry))
         # Backend-specific consistency (e.g. vector alpha is serial-only) is
         # delegated to the lowering path, so a spec that constructs is a
         # spec that lowers.
@@ -165,6 +181,7 @@ class ModelSpec:
             "backend": self.backend,
             "backend_options": dict(self.backend_options),
             "seed": self.seed,
+            "telemetry": self.telemetry,
         }
 
     @classmethod

@@ -44,6 +44,7 @@ Implementation notes
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Union
@@ -56,6 +57,7 @@ from repro.evaluation.likelihood import log_joint_likelihood_from_assignments
 from repro.kernels.buckets import corpus_buckets
 from repro.kernels.warp import document_phase as slab_document_phase
 from repro.kernels.warp import word_phase as slab_word_phase
+from repro.obs import get_telemetry
 from repro.samplers.base import resolve_hyperparameters, validate_hyperparameters
 from repro.sampling.alias import AliasTable
 from repro.sampling.rng import RngLike, ensure_rng, export_rng_state, restore_rng_state
@@ -290,8 +292,21 @@ class WarpLDA:
             raise ValueError(f"evaluate_every must be positive, got {evaluate_every}")
         if tracker is not None:
             tracker.start()
+        obs = get_telemetry()
         for _ in range(num_iterations):
-            self.run_iteration()
+            if obs.enabled:
+                started = time.perf_counter()
+                with obs.span(
+                    "sweep", sampler=self.name, iteration=self.iterations_completed
+                ):
+                    self.run_iteration()
+                elapsed = time.perf_counter() - started
+                num_tokens = self.corpus.num_tokens
+                obs.count("sampler.tokens_sampled", num_tokens)
+                if elapsed > 0:
+                    obs.record("sampler.tokens_per_sec", num_tokens / elapsed)
+            else:
+                self.run_iteration()
             if tracker is not None and self.iterations_completed % evaluate_every == 0:
                 tracker.record(
                     iteration=self.iterations_completed,
@@ -302,13 +317,50 @@ class WarpLDA:
 
     def run_iteration(self) -> None:
         """One full WarpLDA iteration: word phase, then document phase."""
-        if self.config.kernel == "slab":
+        obs = get_telemetry()
+        if obs.enabled:
+            self._run_iteration_instrumented(obs)
+        elif self.config.kernel == "slab":
             self._word_phase_slab()
             self._document_phase_slab()
         else:
             self._word_phase()
             self._document_phase()
         self.iterations_completed += 1
+
+    def _run_iteration_instrumented(self, obs) -> None:
+        """The same iteration with per-phase spans and MH acceptance counts.
+
+        The word phase accepts the *doc* proposals drawn by the previous
+        document phase and vice versa (Eq. 7), so the counters are named for
+        the proposal type being judged — the per-proposal-type acceptance
+        rates of Fig. 8.  The accumulators never touch the RNG stream, so an
+        instrumented run stays bit-identical to an un-instrumented one.
+        """
+        slab = self.config.kernel == "slab"
+        doc_proposal_stats = {"proposed": 0, "accepted": 0}
+        word_proposal_stats = {"proposed": 0, "accepted": 0}
+        with obs.span("word_phase", kernel=self.config.kernel):
+            if slab:
+                self._word_phase_slab(chain_stats=doc_proposal_stats)
+            else:
+                self._word_phase(chain_stats=doc_proposal_stats)
+        with obs.span("doc_phase", kernel=self.config.kernel):
+            if slab:
+                self._document_phase_slab(chain_stats=word_proposal_stats)
+            else:
+                self._document_phase(chain_stats=word_proposal_stats)
+        for proposal, stats in (
+            ("doc_proposal", doc_proposal_stats),
+            ("word_proposal", word_proposal_stats),
+        ):
+            obs.count(f"mh.{proposal}.proposed", stats["proposed"])
+            obs.count(f"mh.{proposal}.accepted", stats["accepted"])
+            if stats["proposed"]:
+                obs.record(
+                    f"mh.{proposal}.acceptance_rate",
+                    stats["accepted"] / stats["proposed"],
+                )
 
     def _stale_topic_counts(self) -> np.ndarray:
         """The phase-frozen global ``c_k`` as float64, in a reused buffer.
@@ -405,7 +457,7 @@ class WarpLDA:
     # ------------------------------------------------------------------ #
     # The two phases
     # ------------------------------------------------------------------ #
-    def _word_phase(self) -> None:
+    def _word_phase(self, chain_stats: Optional[dict] = None) -> None:
         """Visit tokens word-by-word: accept doc proposals, draw word proposals."""
         corpus = self.corpus
         assignments = self.assignments
@@ -449,6 +501,9 @@ class WarpLDA:
                     beta_sum,
                 )
                 accept = uniforms[step] < acceptance
+                if chain_stats is not None:
+                    chain_stats["proposed"] += length
+                    chain_stats["accepted"] += int(np.count_nonzero(accept))
                 current = np.where(accept, proposed, current)
             assignments[token_indices] = current
 
@@ -458,7 +513,7 @@ class WarpLDA:
 
         self.topic_counts = np.bincount(assignments, minlength=num_topics)
 
-    def _document_phase(self) -> None:
+    def _document_phase(self, chain_stats: Optional[dict] = None) -> None:
         """Visit tokens document-by-document: accept word proposals, draw doc proposals."""
         corpus = self.corpus
         assignments = self.assignments
@@ -494,6 +549,9 @@ class WarpLDA:
                     beta_sum,
                 )
                 accept = uniforms[step] < acceptance
+                if chain_stats is not None:
+                    chain_stats["proposed"] += length
+                    chain_stats["accepted"] += int(np.count_nonzero(accept))
                 current = np.where(accept, proposed, current)
             assignments[token_slice] = current
 
@@ -504,7 +562,7 @@ class WarpLDA:
     # ------------------------------------------------------------------ #
     # Slab-kernel phases (repro.kernels.warp)
     # ------------------------------------------------------------------ #
-    def _word_phase_slab(self) -> None:
+    def _word_phase_slab(self, chain_stats: Optional[dict] = None) -> None:
         """Word phase over bucketed word slabs (kernel path)."""
         slab_word_phase(
             self.assignments,
@@ -518,10 +576,11 @@ class WarpLDA:
             self.rng,
             exact_word_proposal=self.config.word_proposal == "alias",
             external_word_topic=self._external_word_topic,
+            chain_stats=chain_stats,
         )
         self.topic_counts = np.bincount(self.assignments, minlength=self.num_topics)
 
-    def _document_phase_slab(self) -> None:
+    def _document_phase_slab(self, chain_stats: Optional[dict] = None) -> None:
         """Document phase over bucketed document slabs (kernel path)."""
         slab_document_phase(
             self.assignments,
@@ -535,6 +594,7 @@ class WarpLDA:
             self.beta_sum,
             self.rng,
             alpha_alias=self._alpha_alias,
+            chain_stats=chain_stats,
         )
         self.topic_counts = np.bincount(self.assignments, minlength=self.num_topics)
 

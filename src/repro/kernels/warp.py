@@ -61,6 +61,7 @@ def _run_chain(
     num_mh_steps: int,
     rng: np.random.Generator,
     prior_proposed_of=None,
+    chain_stats: Optional[dict] = None,
 ) -> np.ndarray:
     """Accept/reject the ``M`` stored proposals for one bucket chunk.
 
@@ -70,9 +71,15 @@ def _run_chain(
     prior term already gathered at the current assignments;
     ``prior_proposed_of`` maps a proposed-topic matrix to its prior term (a
     constant β for the word phase, ``α[topic]`` for the document phase).
+
+    ``chain_stats`` (telemetry only, ``None`` by default) is a mutable
+    ``{"proposed": int, "accepted": int}`` accumulator for MH acceptance
+    counting; it never touches the RNG stream, so instrumented and plain
+    runs stay bit-identical.
     """
     rows = np.arange(current.shape[0])[:, None]
     uniforms = rng.random((num_mh_steps,) + current.shape)
+    valid = int(np.count_nonzero(mask)) if chain_stats is not None else 0
     for step in range(num_mh_steps):
         proposed = proposals[step][tokens]
         prior_proposed = prior_proposed_of(proposed)
@@ -84,6 +91,9 @@ def _run_chain(
             * (stale_topic_counts[proposed] + beta_sum)
         )
         accept = mask & (uniforms[step] < ratio)
+        if chain_stats is not None:
+            chain_stats["proposed"] += valid
+            chain_stats["accepted"] += int(np.count_nonzero(accept))
         current = np.where(accept, proposed, current)
         if not np.isscalar(row_prior_current):
             row_prior_current = np.where(accept, prior_proposed, row_prior_current)
@@ -102,6 +112,7 @@ def word_phase(
     rng: np.random.Generator,
     exact_word_proposal: bool = False,
     external_word_topic: Optional[np.ndarray] = None,
+    chain_stats: Optional[dict] = None,
 ) -> None:
     """Word phase over word-axis buckets: accept doc proposals, draw word proposals.
 
@@ -134,6 +145,7 @@ def word_phase(
                 num_mh_steps,
                 rng,
                 prior_proposed_of=lambda proposed: beta,
+                chain_stats=chain_stats,
             )
             assignments[tokens[mask]] = current[mask]
 
@@ -176,6 +188,7 @@ def document_phase(
     beta_sum: float,
     rng: np.random.Generator,
     alpha_alias: Optional[AliasTable] = None,
+    chain_stats: Optional[dict] = None,
 ) -> None:
     """Document phase over doc-axis buckets: accept word proposals, draw doc proposals.
 
@@ -202,6 +215,7 @@ def document_phase(
                 num_mh_steps,
                 rng,
                 prior_proposed_of=lambda proposed: alpha[proposed],
+                chain_stats=chain_stats,
             )
             assignments[tokens[mask]] = current[mask]
 

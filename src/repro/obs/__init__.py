@@ -1,0 +1,53 @@
+"""``repro.obs`` — zero-dependency metrics and tracing for every hot layer.
+
+The paper's claims are quantitative (tokens/s, MH acceptance rates, per-phase
+cost, multi-worker scaling); this package is the shared substrate that makes
+those quantities observable in *any* run, not just the benchmark scripts:
+
+* :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms with
+  deterministic p50/p95/p99, and bounded series (:mod:`repro.obs.metrics`);
+* :class:`Telemetry` + :func:`get_telemetry` — ``span()`` context-manager
+  tracing to JSONL with nesting, the process-wide active instance, and
+  worker-payload absorption for the parallel trainer
+  (:mod:`repro.obs.trace`);
+* :func:`render_report` — the human-readable end-of-run digest
+  (:mod:`repro.obs.report`).
+
+The default active telemetry is a no-op: un-instrumented runs pay one global
+lookup and an ``enabled`` check per probe site.  Enable it per run with
+``ModelSpec(telemetry=...)``, ``--telemetry PATH`` on the CLI, or directly::
+
+    from repro.obs import Telemetry, use_telemetry
+
+    with Telemetry("trace.jsonl") as obs, use_telemetry(obs):
+        model.fit(100)
+    print(obs.registry.to_json())
+
+Everything here is stdlib-only, so importing it from lazily-loaded layers
+(serving, streaming) never widens their import footprint.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKET_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+)
+from repro.obs.report import render_report
+from repro.obs.trace import Telemetry, get_telemetry, set_telemetry, use_telemetry
+
+__all__ = [
+    "DEFAULT_BUCKET_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Series",
+    "Telemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+    "render_report",
+]

@@ -1,0 +1,410 @@
+"""Process-local metric instruments and the registry that owns them.
+
+Everything here is plain stdlib — no numpy, no third-party imports — so the
+telemetry layer can be imported from any module (including the lazily-imported
+serving and streaming layers) without widening their import footprint.
+
+Instrument model
+----------------
+* :class:`Counter` — monotonically increasing totals (tokens sampled, MH
+  proposals accepted, registry publishes).
+* :class:`Gauge` — a last-written value (current shard skew, cache size).
+* :class:`Histogram` — fixed-bucket latency/duration distribution with
+  deterministic p50/p95/p99 extraction (see :meth:`Histogram.percentile` for
+  the exact, test-pinned interpolation rule).
+* :class:`Series` — a bounded sequence of raw observations in arrival order
+  (per-sweep tokens/s, per-iteration MH acceptance rates — the Fig. 8
+  quantities), kept when the *trajectory* matters, not just the distribution.
+
+Instruments are single-writer: one thread (or process) owns each registry and
+concurrent writers aggregate by shipping :meth:`MetricsRegistry.state_dict`
+payloads to an owner that calls :meth:`MetricsRegistry.merge` — that is how
+the parallel trainer's workers report without locks on the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Series",
+    "MetricsRegistry",
+    "DEFAULT_BUCKET_BOUNDS",
+]
+
+#: Default histogram bucket upper bounds: powers of two from ~1 µs to 64 s.
+#: Log-spaced so one bucket layout covers everything from a single slab-chunk
+#: kernel call to a full training epoch; values beyond the last bound land in
+#: an implicit overflow bucket.  Fixed (rather than adaptive) bounds are what
+#: make histograms mergeable across processes and runs.
+DEFAULT_BUCKET_BOUNDS: Tuple[float, ...] = tuple(2.0**e for e in range(-20, 7))
+
+#: Default retention of a :class:`Series` (observations, not seconds).
+DEFAULT_SERIES_MAXLEN = 4096
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got increment {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A last-written value (``None`` until first set)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket distribution with deterministic percentile extraction.
+
+    Parameters
+    ----------
+    bounds:
+        Ascending bucket *upper* bounds; an implicit overflow bucket catches
+        values above the last bound.  Two histograms merge only if their
+        bounds are identical, so instrumented code should stick to the
+        default layout unless it has a reason not to.
+
+    Percentile rule (pinned by ``tests/test_obs.py``)
+    -------------------------------------------------
+    ``percentile(q)`` finds the bucket containing the q-th cumulative rank
+    ``r = clamp(q/100 * count, 1, count)`` and linearly interpolates between
+    the bucket's edges by the rank's position inside the bucket; the result is
+    then clamped to the observed ``[min, max]``.  The clamp is what makes the
+    small-sample cases exact: with one observation every percentile *is* that
+    observation, and no percentile can ever leave the observed range — unlike
+    ``np.percentile`` on a raw sample window, the answer depends only on the
+    bucket counts, so it is identical run-to-run and across merged processes.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Iterable[float] = DEFAULT_BUCKET_BOUNDS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b <= a for a, b in zip(self.bounds, self.bounds[1:])):
+            raise ValueError("histogram bounds must be strictly ascending")
+        # One slot per bound plus the overflow bucket.
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.bucket_counts[self._bucket_index(value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def _bucket_index(self, value: float) -> int:
+        # Linear scan beats bisect for the typical "latencies cluster in a
+        # few adjacent buckets" case only when starting near the target;
+        # bisect is O(log n) worst-case and branch-predictable — use it.
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile under the documented interpolation rule."""
+        if self.count == 0:
+            return 0.0
+        rank = min(max((q / 100.0) * self.count, 1.0), float(self.count))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = (
+                    self.bounds[index] if index < len(self.bounds) else self.max
+                )
+                fraction = (rank - cumulative) / bucket_count
+                value = lower + fraction * (upper - lower)
+                return min(max(value, self.min), self.max)
+            cumulative += bucket_count
+        return self.max  # pragma: no cover - unreachable (count > 0)
+
+    def merge(self, other: "Histogram") -> None:
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for index, bucket_count in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def summary(self) -> Dict[str, float]:
+        """The JSON-facing digest: count, sum, mean, min/max, p50/p95/p99."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class Series:
+    """A bounded, ordered sequence of raw observations."""
+
+    __slots__ = ("values", "observed")
+
+    def __init__(self, maxlen: int = DEFAULT_SERIES_MAXLEN) -> None:
+        self.values: Deque[float] = deque(maxlen=maxlen)
+        #: Total observations ever recorded (survives window rollover).
+        self.observed = 0
+
+    def record(self, value: float) -> None:
+        self.values.append(float(value))
+        self.observed += 1
+
+    @property
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+
+class MetricsRegistry:
+    """A named collection of instruments with JSON / Prometheus export.
+
+    Instruments are created on first access (``registry.counter("x").inc()``)
+    and a name permanently belongs to the instrument kind that created it —
+    reusing ``"x"`` as a gauge after it was a counter raises, which catches
+    instrumentation typos early instead of silently forking the data.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, Series] = {}
+
+    # ------------------------------------------------------------------ #
+    # Instrument access
+    # ------------------------------------------------------------------ #
+    def _claim(self, name: str, kind: str) -> None:
+        owners = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+            "series": self._series,
+        }
+        for other_kind, table in owners.items():
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} is already a {other_kind}, "
+                    f"cannot reuse it as a {kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._claim(name, "counter")
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._claim(name, "gauge")
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Iterable[float] = DEFAULT_BUCKET_BOUNDS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._claim(name, "histogram")
+            instrument = self._histograms[name] = Histogram(bounds)
+        return instrument
+
+    def series(self, name: str, maxlen: int = DEFAULT_SERIES_MAXLEN) -> Series:
+        instrument = self._series.get(name)
+        if instrument is None:
+            self._claim(name, "series")
+            instrument = self._series[name] = Series(maxlen)
+        return instrument
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters)
+            + len(self._gauges)
+            + len(self._histograms)
+            + len(self._series)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """The human/JSON-facing digest (histograms as percentile summaries)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+            "series": {
+                n: {"observed": s.observed, "values": list(s.values)}
+                for n, s in sorted(self._series.items())
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Lossless, pickle/JSON-safe form for :meth:`merge` (worker shipping)."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {
+                n: {
+                    "bounds": list(h.bounds),
+                    "bucket_counts": list(h.bucket_counts),
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min,
+                    "max": h.max,
+                }
+                for n, h in self._histograms.items()
+            },
+            "series": {
+                n: {"maxlen": s.values.maxlen, "values": list(s.values),
+                    "observed": s.observed}
+                for n, s in self._series.items()
+            },
+        }
+
+    def merge(self, state: Mapping[str, Any]) -> None:
+        """Fold a :meth:`state_dict` payload into this registry.
+
+        Counters add, gauges take the payload's value (last writer wins),
+        histograms add bucket-wise (bounds must match), series extend in
+        payload order.  Merging is how N workers' metrics reach the master
+        without loss — exact-count behavior is pinned by the parallel-trainer
+        telemetry tests.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in state.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, data in state.get("histograms", {}).items():
+            incoming = Histogram(data["bounds"])
+            incoming.bucket_counts = list(data["bucket_counts"])
+            incoming.count = data["count"]
+            incoming.total = data["total"]
+            incoming.min = data["min"]
+            incoming.max = data["max"]
+            self.histogram(name, bounds=data["bounds"]).merge(incoming)
+        for name, data in state.get("series", {}).items():
+            series = self.series(name, maxlen=data.get("maxlen") or
+                                 DEFAULT_SERIES_MAXLEN)
+            for value in data["values"]:
+                series.record(value)
+            # Rolled-over observations are part of the total even though
+            # their values are gone.
+            series.observed += data.get("observed", len(data["values"])) - len(
+                data["values"]
+            )
+
+    # ------------------------------------------------------------------ #
+    # Prometheus-style text exposition
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _prom_name(name: str) -> str:
+        cleaned = "".join(
+            ch if ch.isalnum() or ch == "_" else "_" for ch in name
+        )
+        if cleaned and cleaned[0].isdigit():
+            cleaned = "_" + cleaned
+        return cleaned
+
+    def to_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format (version 0.0.4).
+
+        Counters and gauges map directly; histograms emit the standard
+        cumulative ``_bucket{le="..."}`` / ``_sum`` / ``_count`` triple; a
+        series is summarised as a gauge holding its most recent value (the
+        full trajectory lives in :meth:`to_dict`, not the scrape).
+        """
+        lines: List[str] = []
+        for name, counter in sorted(self._counters.items()):
+            prom = self._prom_name(name)
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {counter.value}")
+        for name, gauge in sorted(self._gauges.items()):
+            if gauge.value is None:
+                continue
+            prom = self._prom_name(name)
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {gauge.value}")
+        for name, series in sorted(self._series.items()):
+            if series.last is None:
+                continue
+            prom = self._prom_name(name)
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {series.last}")
+        for name, histogram in sorted(self._histograms.items()):
+            prom = self._prom_name(name)
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for bound, bucket_count in zip(
+                histogram.bounds, histogram.bucket_counts
+            ):
+                cumulative += bucket_count
+                lines.append(f'{prom}_bucket{{le="{bound!r}"}} {cumulative}')
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {histogram.count}')
+            lines.append(f"{prom}_sum {histogram.total if histogram.count else 0.0}")
+            lines.append(f"{prom}_count {histogram.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)}, "
+            f"series={len(self._series)})"
+        )

@@ -1,0 +1,70 @@
+"""Human-readable rendering of a metrics registry — the end-of-run report."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["render_report"]
+
+
+def _fmt(value: float) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value):,}"
+    if abs(value) >= 1000:
+        return f"{value:,.1f}"
+    return f"{value:.4g}"
+
+
+def render_report(registry: MetricsRegistry, title: str = "telemetry") -> str:
+    """A plain-text digest of ``registry`` (what the CLI prints after a run).
+
+    Sections appear only when non-empty: counters as totals, gauges as their
+    last value, histograms as count/mean/p50/p95/p99/max rows, series as
+    ``last (n=observed)`` with the mean of the retained window.
+    """
+    data = registry.to_dict()
+    lines: List[str] = [f"== {title} report =="]
+
+    if data["counters"]:
+        lines.append("counters:")
+        for name, value in data["counters"].items():
+            lines.append(f"  {name:<44} {_fmt(value)}")
+    if data["gauges"]:
+        lines.append("gauges:")
+        for name, value in data["gauges"].items():
+            lines.append(f"  {name:<44} {_fmt(value)}")
+    if data["histograms"]:
+        lines.append("histograms:                                    "
+                     "count      mean       p50       p95       p99       max")
+        for name, summary in data["histograms"].items():
+            if not summary.get("count"):
+                lines.append(f"  {name:<44} 0")
+                continue
+            lines.append(
+                f"  {name:<44} "
+                f"{summary['count']:>6} "
+                f"{summary['mean']:>9.4g} "
+                f"{summary['p50']:>9.4g} "
+                f"{summary['p95']:>9.4g} "
+                f"{summary['p99']:>9.4g} "
+                f"{summary['max']:>9.4g}"
+            )
+    if data["series"]:
+        lines.append("series:")
+        for name, payload in data["series"].items():
+            values = payload["values"]
+            if not values:
+                lines.append(f"  {name:<44} (empty)")
+                continue
+            window_mean = sum(values) / len(values)
+            lines.append(
+                f"  {name:<44} last={_fmt(values[-1])} "
+                f"mean={_fmt(window_mean)} (n={payload['observed']})"
+            )
+    if len(lines) == 1:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)

@@ -1,0 +1,332 @@
+"""Span tracing, the active-telemetry global, and cross-process absorption.
+
+The shape of the layer
+----------------------
+A :class:`Telemetry` owns a :class:`~repro.obs.metrics.MetricsRegistry` and a
+JSONL event sink (a file, or an in-memory buffer for worker processes that
+ship their events home).  Instrumented code never holds a reference to it;
+it asks for the process-wide active instance:
+
+>>> from repro.obs import get_telemetry
+>>> obs = get_telemetry()
+>>> if obs.enabled:
+...     obs.count("sampler.tokens_sampled", 1024)
+
+The default active instance is a shared no-op whose methods do nothing and
+whose ``span`` returns a reusable null context manager — an un-instrumented
+run pays one module-global lookup and an attribute check per probe site, which
+the overhead micro-test in ``tests/test_obs.py`` bounds at ≤3% of a sampler
+sweep.  Hot loops gate on ``obs.enabled``; coarse-grained sites (one probe per
+batch or request) may call ``obs.span(...)`` / ``obs.event(...)``
+unconditionally.
+
+JSONL schema
+------------
+One JSON object per line, two event types::
+
+    {"type": "span",  "name": ..., "id": N, "parent": M|null, "depth": D,
+     "start": <unix time>, "seconds": <duration>, "attrs": {...}}
+    {"type": "event", "name": ..., "id": N, "parent": M|null, "depth": D,
+     "time": <unix time>, "attrs": {...}}
+
+Spans are written when they *close* (their duration is only known then), so a
+parent's line appears after its children's; reconstruct the tree from
+``parent``/``id``, not line order.  ``depth`` is denormalised for cheap
+eyeballing and log filtering.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "Telemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+]
+
+
+class _NullSpan:
+    """A reusable, re-entrant no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NoopTelemetry:
+    """The disabled default: every probe is a no-op.
+
+    ``enabled`` is False so hot loops can skip even the cheap calls; the
+    remaining methods exist so coarse probe sites need no conditional at all.
+    """
+
+    __slots__ = ()
+    enabled = False
+    registry = None
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **fields: Any) -> None:
+        return None
+
+    def count(self, name: str, amount: float = 1) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+    def record(self, name: str, value: float) -> None:
+        return None
+
+    def absorb(self, payload: Optional[Mapping[str, Any]]) -> None:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<noop telemetry>"
+
+
+class Telemetry:
+    """An enabled telemetry session: metrics registry + JSONL event sink.
+
+    Parameters
+    ----------
+    trace_path:
+        Where to write the JSONL event stream.  ``None`` buffers events in
+        memory instead — the worker-process mode, whose buffer travels home
+        via :meth:`export_payload` / :meth:`absorb`.
+    registry:
+        An existing registry to record into (a fresh one by default).
+    metrics_path:
+        Optional path where :meth:`close` writes the final metrics JSON
+        digest; the CLI derives it from the trace path
+        (``out.jsonl`` → ``out.metrics.json``).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        trace_path: Optional[Union[str, Path]] = None,
+        registry: Optional[MetricsRegistry] = None,
+        metrics_path: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace_path = Path(trace_path) if trace_path is not None else None
+        self.metrics_path = Path(metrics_path) if metrics_path is not None else None
+        self.events: List[Dict[str, Any]] = []
+        self._handle = None
+        if self.trace_path is not None:
+            self.trace_path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.trace_path, "w", encoding="utf-8")
+        self._write_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Spans and events
+    # ------------------------------------------------------------------ #
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[int]:
+        """Time a block; emits one ``span`` line and a duration histogram.
+
+        The span nests under whichever span is currently open on this thread,
+        and its duration is also recorded into the ``span.<name>.seconds``
+        histogram so percentiles are available without replaying the trace.
+        """
+        stack = self._stack()
+        span_id = next(self._ids)
+        parent = stack[-1] if stack else None
+        depth = len(stack)
+        stack.append(span_id)
+        start_wall = time.time()
+        start = time.perf_counter()
+        try:
+            yield span_id
+        finally:
+            seconds = time.perf_counter() - start
+            stack.pop()
+            self.registry.histogram(f"span.{name}.seconds").record(seconds)
+            self._emit(
+                {
+                    "type": "span",
+                    "name": name,
+                    "id": span_id,
+                    "parent": parent,
+                    "depth": depth,
+                    "start": start_wall,
+                    "seconds": seconds,
+                    "attrs": attrs,
+                }
+            )
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Emit a point-in-time event attached to the current span."""
+        stack = self._stack()
+        self._emit(
+            {
+                "type": "event",
+                "name": name,
+                "id": next(self._ids),
+                "parent": stack[-1] if stack else None,
+                "depth": len(stack),
+                "time": time.time(),
+                "attrs": fields,
+            }
+        )
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        if self._handle is not None:
+            line = json.dumps(record, default=str)
+            with self._write_lock:
+                if not self._closed:
+                    self._handle.write(line + "\n")
+        else:
+            with self._write_lock:
+                self.events.append(record)
+
+    # ------------------------------------------------------------------ #
+    # Metric shorthands (mirror the no-op surface)
+    # ------------------------------------------------------------------ #
+    def count(self, name: str, amount: float = 1) -> None:
+        self.registry.counter(name).inc(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.registry.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.registry.histogram(name).record(value)
+
+    def record(self, name: str, value: float) -> None:
+        self.registry.series(name).record(value)
+
+    # ------------------------------------------------------------------ #
+    # Cross-process aggregation
+    # ------------------------------------------------------------------ #
+    def export_payload(self) -> Dict[str, Any]:
+        """Everything a worker ships home: metrics state + buffered events."""
+        with self._write_lock:
+            events = list(self.events)
+        return {"metrics": self.registry.state_dict(), "events": events}
+
+    def absorb(self, payload: Optional[Mapping[str, Any]]) -> None:
+        """Fold a worker's :meth:`export_payload` into this telemetry.
+
+        Metrics merge exactly (counters add, histograms add bucket-wise);
+        the worker's events are re-emitted here with fresh ids, re-parented
+        under the currently open span, and their depths shifted accordingly —
+        so a worker's ``shard → sweep → word_phase`` subtree lands intact
+        under the master's ``epoch`` span.
+        """
+        if not payload:
+            return
+        metrics = payload.get("metrics")
+        if metrics:
+            self.registry.merge(metrics)
+        events = payload.get("events")
+        if not events:
+            return
+        stack = self._stack()
+        graft_parent = stack[-1] if stack else None
+        base_depth = len(stack)
+        # Two passes: spans are written child-before-parent, so every old id
+        # must be mapped before any parent reference is rewritten.
+        id_map: Dict[int, int] = {}
+        for event in events:
+            old_id = event.get("id")
+            if old_id is not None:
+                id_map[old_id] = next(self._ids)
+        for event in events:
+            rewritten = dict(event)
+            old_id = rewritten.get("id")
+            rewritten["id"] = id_map.get(old_id, next(self._ids))
+            old_parent = rewritten.get("parent")
+            rewritten["parent"] = (
+                id_map[old_parent] if old_parent in id_map else graft_parent
+            )
+            rewritten["depth"] = rewritten.get("depth", 0) + base_depth
+            self._emit(rewritten)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Flush and close the sink; write the metrics digest if requested."""
+        if self._closed:
+            return
+        with self._write_lock:
+            self._closed = True
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+        if self.metrics_path is not None:
+            self.metrics_path.parent.mkdir(parents=True, exist_ok=True)
+            self.metrics_path.write_text(
+                self.registry.to_json() + "\n", encoding="utf-8"
+            )
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sink = str(self.trace_path) if self.trace_path else "<buffer>"
+        return f"Telemetry(sink={sink}, metrics={len(self.registry)})"
+
+
+_NOOP = _NoopTelemetry()
+_active: Any = _NOOP
+_active_lock = threading.Lock()
+
+
+def get_telemetry() -> Any:
+    """The process-wide active telemetry (the shared no-op by default)."""
+    return _active
+
+
+def set_telemetry(telemetry: Optional[Telemetry]) -> Any:
+    """Install ``telemetry`` as the active instance (``None`` → no-op)."""
+    global _active
+    with _active_lock:
+        _active = telemetry if telemetry is not None else _NOOP
+        return _active
+
+
+@contextmanager
+def use_telemetry(telemetry: Optional[Telemetry]) -> Iterator[Any]:
+    """Scoped activation: install, yield, restore the previous instance."""
+    previous = _active
+    installed = set_telemetry(telemetry)
+    try:
+        yield installed
+    finally:
+        set_telemetry(previous if previous is not _NOOP else None)

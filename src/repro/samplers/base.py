@@ -16,6 +16,7 @@ samplers uniformly.
 from __future__ import annotations
 
 import abc
+import time
 from typing import Any, Dict, Optional, Union
 
 import numpy as np
@@ -23,6 +24,7 @@ import numpy as np
 from repro.corpus.corpus import Corpus
 from repro.evaluation.convergence import ConvergenceTracker
 from repro.evaluation.likelihood import log_joint_likelihood
+from repro.obs import get_telemetry
 from repro.sampling.rng import RngLike, ensure_rng, export_rng_state, restore_rng_state
 
 __all__ = [
@@ -311,8 +313,21 @@ class LDASampler(abc.ABC):
             raise ValueError(f"evaluate_every must be positive, got {evaluate_every}")
         if tracker is not None:
             tracker.start()
+        obs = get_telemetry()
         for _ in range(num_iterations):
-            self._sample_iteration()
+            if obs.enabled:
+                started = time.perf_counter()
+                with obs.span(
+                    "sweep", sampler=self.name, iteration=self.iterations_completed
+                ):
+                    self._sample_iteration()
+                elapsed = time.perf_counter() - started
+                num_tokens = self.corpus.num_tokens
+                obs.count("sampler.tokens_sampled", num_tokens)
+                if elapsed > 0:
+                    obs.record("sampler.tokens_per_sec", num_tokens / elapsed)
+            else:
+                self._sample_iteration()
             self.iterations_completed += 1
             if tracker is not None and self.iterations_completed % evaluate_every == 0:
                 tracker.record(

@@ -34,6 +34,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs import Histogram, get_telemetry
 from repro.serving.infer import InferenceEngine
 
 __all__ = ["LRUCache", "ServerStats", "TopicServer"]
@@ -104,8 +105,10 @@ class LRUCache:
 
 
 #: Sliding-window size for per-request latency records: percentiles are
-#: computed over the most recent window, keeping memory O(1) under sustained
-#: traffic.
+#: computed over the most recent ``LATENCY_WINDOW`` requests only, keeping
+#: memory O(1) under sustained traffic.  The window is a deque, so the
+#: (window+1)-th request silently drops the oldest record — percentiles
+#: always describe *recent* traffic, never the full lifetime.
 LATENCY_WINDOW = 8192
 
 
@@ -158,16 +161,32 @@ class ServerStats:
     def latency_percentiles(self) -> Dict[str, float]:
         """p50/p95/p99 of the per-request latencies, in milliseconds.
 
-        Safe before any request has been served: with no recorded latencies
-        (zero requests, or a fresh :meth:`TopicServer.reset_stats`) every
-        percentile is reported as 0.0 instead of tripping ``np.percentile``
-        on an empty array.
+        Computed through :class:`repro.obs.Histogram` so serving reports the
+        *same* deterministic rank-then-interpolate percentiles as every other
+        layer's telemetry (one rule everywhere, not ``np.percentile`` here
+        and bucket interpolation there).  Pinned behavior:
+
+        * **0 samples** (zero requests, or a fresh
+          :meth:`TopicServer.reset_stats`): every percentile is exactly
+          ``0.0`` — never an exception on the empty window.
+        * **1 sample**: every percentile is exactly that sample (the
+          histogram clamps interpolation to the observed min/max).
+        * **2 samples**: p50 lands on rank 1 (the lower sample's bucket) and
+          interpolates to that bucket's position, clamped into the observed
+          range — never ``np.percentile``'s midpoint average of the two raw
+          samples, and never below the smaller or above the larger sample.
+        * **window boundary**: only the most recent :data:`LATENCY_WINDOW`
+          records enter — the (window+1)-th request evicts the oldest, so a
+          latency spike ages out of the percentiles after one full window.
         """
         if not self.latencies:
             return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
-        values = np.asarray(self.latencies) * 1e3
-        p50, p95, p99 = np.percentile(values, [50, 95, 99])
-        return {"p50_ms": float(p50), "p95_ms": float(p95), "p99_ms": float(p99)}
+        histogram = Histogram()
+        for seconds in self.latencies:
+            histogram.record(seconds)
+        return {
+            f"p{q}_ms": histogram.percentile(q) * 1e3 for q in (50, 95, 99)
+        }
 
     def summary(self) -> str:
         """A one-block human-readable report.
@@ -321,8 +340,15 @@ class TopicServer:
         # Cached θ rows were folded in under the old Φ; drop them (this is a
         # model change, not a capacity eviction).
         self.cache.clear()
+        previous = self.served_version
         self.served_version = entry.version
         self.stats_.hot_swaps += 1
+        obs = get_telemetry()
+        if obs.enabled:
+            obs.count("serving.hot_swaps")
+            obs.event(
+                "server_hot_swap", from_version=previous, to_version=entry.version
+            )
         return True
 
     # ------------------------------------------------------------------ #
@@ -364,6 +390,7 @@ class TopicServer:
     # Serving core
     # ------------------------------------------------------------------ #
     def _serve(self, documents: List[np.ndarray]) -> np.ndarray:
+        obs = get_telemetry()
         self.refresh()
         call_engine = self.engine
         num_topics = call_engine.num_topics
@@ -372,6 +399,7 @@ class TopicServer:
             return theta
 
         request_started = time.perf_counter()
+        cache_hits_before = self.stats_.cache_hits
         keys = [bow_key(doc) for doc in documents]
         misses: List[int] = []
         # First occurrence of each missing key infers; duplicates within the
@@ -427,6 +455,9 @@ class TopicServer:
             self.stats_.documents_inferred += len(batch_rows)
             self.stats_.tokens_inferred += int(sum(doc.size for doc in batch_docs))
             self.stats_.inference_seconds += elapsed
+            if obs.enabled:
+                obs.observe("serving.batch_seconds", elapsed)
+                obs.observe("serving.batch_size", len(batch_rows))
             for row, theta_row in zip(batch_rows, batch_theta):
                 theta[row] = theta_row
                 if cacheable:
@@ -441,6 +472,16 @@ class TopicServer:
         call_latency = time.perf_counter() - request_started
         self.stats_.requests += len(documents)
         self.stats_.latencies.extend([call_latency] * len(documents))
+        if obs.enabled:
+            obs.count("serving.requests", len(documents))
+            obs.count(
+                "serving.cache_hits",
+                self.stats_.cache_hits - cache_hits_before,
+            )
+            # Same latency accounting as ServerStats: each request in the
+            # call observed the whole call.
+            for _ in range(len(documents)):
+                obs.observe("serving.request_seconds", call_latency)
         return theta
 
     # ------------------------------------------------------------------ #

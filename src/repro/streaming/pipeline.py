@@ -27,6 +27,7 @@ from typing import Any, Deque, Iterable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.corpus.corpus import Document
+from repro.obs import get_telemetry
 from repro.serving.server import TopicServer
 from repro.streaming.online import OnlineTrainer, OnlineUpdate
 from repro.streaming.registry import ModelRegistry, PublishedVersion
@@ -50,6 +51,9 @@ class IngestReport:
     #: containing this batch — queueing delay deliberately included.
     #: ``None`` when the step did not publish or no server is attached.
     ingest_to_servable_seconds: Optional[float]
+    #: Seconds spent in registry publish + server refresh; ``None`` when the
+    #: step did not publish.
+    publish_seconds: Optional[float] = None
 
 
 class StreamingPipeline:
@@ -120,35 +124,80 @@ class StreamingPipeline:
         ingest-to-servable latency.  Plain document sequences carry no
         arrival time and are clocked from call entry.
         """
+        obs = get_telemetry()
         entered = time.perf_counter()
         arrival = batch.closed_at if isinstance(batch, MiniBatch) else entered
-        update = self.trainer.ingest(batch)
         published: Optional[PublishedVersion] = None
         servable: Optional[float] = None
-        # A publish needs a model: leading batches that carried no tokens
-        # (empty documents, or everything OOV-dropped) defer it to the next
-        # due batch instead of crashing the ingest loop on export.
-        due = (
-            self.trainer.batches_ingested % self.publish_every == 0
-            and self.trainer.corpus.num_tokens > 0
-        )
-        if due:
-            published = self.registry.publish(
-                self.trainer.export_snapshot(),
-                batch_index=update.batch_index,
-                **publish_metadata,
+        publish_seconds: Optional[float] = None
+        with obs.span("ingest", batch=self.trainer.batches_ingested + 1):
+            update = self.trainer.ingest(batch)
+            # A publish needs a model: leading batches that carried no tokens
+            # (empty documents, or everything OOV-dropped) defer it to the next
+            # due batch instead of crashing the ingest loop on export.
+            due = (
+                self.trainer.batches_ingested % self.publish_every == 0
+                and self.trainer.corpus.num_tokens > 0
             )
-            if self.server is not None:
-                self.server.refresh()
-                servable = time.perf_counter() - arrival
+            if due:
+                publish_started = time.perf_counter()
+                with obs.span("publish", batch=update.batch_index):
+                    published = self.registry.publish(
+                        self.trainer.export_snapshot(),
+                        batch_index=update.batch_index,
+                        **publish_metadata,
+                    )
+                    if self.server is not None:
+                        self.server.refresh()
+                        servable = time.perf_counter() - arrival
+                publish_seconds = time.perf_counter() - publish_started
         report = IngestReport(
             update=update,
             published=published,
             ingest_seconds=time.perf_counter() - entered,
             ingest_to_servable_seconds=servable,
+            publish_seconds=publish_seconds,
         )
+        if obs.enabled:
+            self._record(obs, report)
+        # Recorded to telemetry *before* this bounded-history append so the
+        # report survives observably even after it rolls off the deque.
         self.reports.append(report)
         return report
+
+    @staticmethod
+    def _record(obs: Any, report: IngestReport) -> None:
+        """Fold one report into the active telemetry (metrics + one event)."""
+        update = report.update
+        obs.count("streaming.batches_ingested")
+        obs.count("streaming.documents_ingested", update.documents_added)
+        obs.count("streaming.tokens_ingested", update.tokens_added)
+        obs.observe("streaming.ingest_seconds", report.ingest_seconds)
+        obs.observe("streaming.train_seconds", update.train_seconds)
+        if report.publish_seconds is not None:
+            obs.observe("streaming.publish_seconds", report.publish_seconds)
+        if report.ingest_to_servable_seconds is not None:
+            obs.observe(
+                "streaming.ingest_to_servable_seconds",
+                report.ingest_to_servable_seconds,
+            )
+        obs.event(
+            "ingest_report",
+            batch_index=update.batch_index,
+            documents_added=update.documents_added,
+            tokens_added=update.tokens_added,
+            window_documents=update.window_documents,
+            window_tokens=update.window_tokens,
+            retired_documents=update.retired_documents,
+            vocabulary_size=update.vocabulary_size,
+            train_seconds=update.train_seconds,
+            ingest_seconds=report.ingest_seconds,
+            publish_seconds=report.publish_seconds,
+            ingest_to_servable_seconds=report.ingest_to_servable_seconds,
+            published_version=(
+                report.published.version if report.published is not None else None
+            ),
+        )
 
     def run(
         self, batches: Iterable[Union[MiniBatch, Sequence]], **publish_metadata: Any

@@ -32,8 +32,9 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.obs import get_telemetry
 from repro.serving.snapshot import ModelSnapshot
 
 __all__ = ["ModelRegistry", "PublishedVersion"]
@@ -150,11 +151,19 @@ class ModelRegistry:
                 self._current = version
                 if self._directory is not None:
                     self._write_pointer(version)
-            doomed = self._gc_locked()
+            collected, doomed = self._gc_locked()
         # Retired snapshot files (potentially large) are deleted after the
         # lock is released, for the same reason the save happens before it.
         for path in doomed:
             path.unlink(missing_ok=True)
+        obs = get_telemetry()
+        if obs.enabled:
+            obs.count("registry.publishes")
+            if collected:
+                obs.count("registry.versions_collected", collected)
+            obs.event(
+                "registry_publish", version=version, collected_versions=collected
+            )
         return entry
 
     def _write_pointer(self, version: int) -> None:
@@ -171,26 +180,29 @@ class ModelRegistry:
             Path(temp_path).unlink(missing_ok=True)
             raise
 
-    def _gc_locked(self) -> List[Path]:
+    def _gc_locked(self) -> Tuple[int, List[Path]]:
         """Drop versions beyond the retention horizon (never the current).
 
-        Returns the files of collected versions for the caller to delete
-        *after* releasing the lock.
+        Returns ``(collected, doomed)``: how many versions were collected,
+        and the files of collected versions for the caller to delete *after*
+        releasing the lock (empty without a persistence directory).
         """
         versions = sorted(self._versions)
         keep = set(versions[-self.retain :])
         if self._current is not None:
             keep.add(self._current)
+        collected = 0
         doomed: List[Path] = []
         for version in versions:
             if version in keep:
                 continue
             del self._versions[version]
+            collected += 1
             if self._directory is not None:
                 stem = self._directory / f"{_version_stem(version)}.npz"
                 doomed.append(stem)
                 doomed.append(stem.with_suffix(".npz.json"))
-        return doomed
+        return collected, doomed
 
     # ------------------------------------------------------------------ #
     # Reading
@@ -251,10 +263,17 @@ class ModelRegistry:
                     )
                 version = max(older)
             entry = self.get(int(version))
+            previous = self._current
             self._current = entry.version
             if self._directory is not None:
                 self._write_pointer(entry.version)
-            return entry
+        obs = get_telemetry()
+        if obs.enabled:
+            obs.count("registry.rollbacks")
+            obs.event(
+                "registry_rollback", from_version=previous, to_version=entry.version
+            )
+        return entry
 
     # ------------------------------------------------------------------ #
     # Persistence

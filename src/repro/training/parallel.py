@@ -29,10 +29,11 @@ suite checks.
 from __future__ import annotations
 
 import multiprocessing
+import time
 import traceback
 import warnings
 from dataclasses import asdict, dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,6 +42,7 @@ from repro.corpus.corpus import Corpus
 from repro.distributed.partition import contiguous_shards
 from repro.evaluation.convergence import ConvergenceTracker
 from repro.evaluation.likelihood import log_joint_likelihood_from_assignments
+from repro.obs import Telemetry, get_telemetry, use_telemetry
 from repro.samplers.base import (
     LDASampler,
     resolve_hyperparameters,
@@ -140,8 +142,15 @@ class ShardRunner:
     the four-verb protocol below, so the backends are interchangeable.
     """
 
-    def __init__(self, shard: Corpus, config: TrainerConfig, rng: np.random.Generator):
+    def __init__(
+        self,
+        shard: Corpus,
+        config: TrainerConfig,
+        rng: np.random.Generator,
+        index: int = 0,
+    ):
         self.config = config
+        self.index = int(index)
         sampler_cls = SAMPLER_REGISTRY[config.sampler]
         if sampler_cls is WarpLDA:
             self.sampler: Any = WarpLDA(
@@ -182,13 +191,37 @@ class ShardRunner:
         """This shard's own ``V x K`` word-topic count contribution."""
         return self._contribution
 
-    def run_epoch(self, global_word_topic: np.ndarray) -> np.ndarray:
+    def run_epoch(
+        self, global_word_topic: np.ndarray, instrument: bool = False
+    ) -> Tuple[np.ndarray, Optional[Dict[str, Any]]]:
         """One barrier-to-barrier step: sample against frozen global counts.
 
-        Returns the shard's *new* local contribution; the master's merge is
-        ``global' = Σ_shards contribution`` which equals applying every
-        shard's delta to the old global state.
+        Returns ``(contribution, telemetry_payload)``: the shard's *new*
+        local contribution — the master's merge is ``global' = Σ_shards
+        contribution``, which equals applying every shard's delta to the
+        old global state — plus, when ``instrument`` is set, an
+        :meth:`repro.obs.Telemetry.export_payload` dict (with a ``seconds``
+        key for the shard's epoch wall-time) for the master to absorb.
+        Instrumentation is capture-only — it never touches the samplers'
+        RNG streams, so instrumented epochs stay bit-identical.
         """
+        if not instrument:
+            self._sample_epoch(global_word_topic)
+            return self._contribution, None
+        capture = Telemetry()
+        started = time.perf_counter()
+        try:
+            with use_telemetry(capture):
+                with capture.span("shard", worker=self.index):
+                    self._sample_epoch(global_word_topic)
+        finally:
+            capture.close()
+        payload = capture.export_payload()
+        payload["seconds"] = time.perf_counter() - started
+        payload["worker"] = self.index
+        return self._contribution, payload
+
+    def _sample_epoch(self, global_word_topic: np.ndarray) -> None:
         if self._is_warp:
             external = global_word_topic - self._contribution
             if external.any():
@@ -210,7 +243,6 @@ class ShardRunner:
             self.sampler.invalidate_caches()
             self.sampler.fit(self.config.iterations_per_epoch)
         self._contribution = self._compute_contribution()
-        return self._contribution
 
     def export_state(self) -> Dict[str, Any]:
         """The sampler's resumable state (see the samplers' ``export_state``)."""
@@ -226,10 +258,10 @@ class ShardRunner:
         return np.asarray(self.sampler.assignments).copy()
 
 
-def _worker_main(conn, shard: Corpus, config: TrainerConfig, rng) -> None:
+def _worker_main(conn, shard: Corpus, config: TrainerConfig, rng, index: int = 0) -> None:
     """Entry point of a worker process: serve the shard protocol over a pipe."""
     try:
-        runner = ShardRunner(shard, config, rng)
+        runner = ShardRunner(shard, config, rng, index=index)
         conn.send(("ready", runner.local_word_topic()))
     except Exception:  # noqa: BLE001 - relayed to the master verbatim
         conn.send(("error", traceback.format_exc()))
@@ -243,7 +275,8 @@ def _worker_main(conn, shard: Corpus, config: TrainerConfig, rng) -> None:
         command, payload = message
         try:
             if command == "epoch":
-                conn.send(("counts", runner.run_epoch(payload)))
+                global_word_topic, instrument = payload
+                conn.send(("counts", runner.run_epoch(global_word_topic, instrument)))
             elif command == "export":
                 conn.send(("state", runner.export_state()))
             elif command == "import":
@@ -264,11 +297,13 @@ def _worker_main(conn, shard: Corpus, config: TrainerConfig, rng) -> None:
 class _ProcessWorker:
     """A shard runner living in its own OS process, spoken to over a pipe."""
 
-    def __init__(self, context, shard: Corpus, config: TrainerConfig, rng) -> None:
+    def __init__(
+        self, context, shard: Corpus, config: TrainerConfig, rng, index: int = 0
+    ) -> None:
         self._conn, child_conn = context.Pipe(duplex=True)
         self._process = context.Process(
             target=_worker_main,
-            args=(child_conn, shard, config, rng),
+            args=(child_conn, shard, config, rng, index),
             daemon=True,
         )
         self._process.start()
@@ -304,13 +339,18 @@ class _ProcessWorker:
 class _InlineWorker:
     """The same protocol executed synchronously in the master process."""
 
-    def __init__(self, shard: Corpus, config: TrainerConfig, rng) -> None:
-        self._runner = ShardRunner(shard, config, rng)
+    def __init__(
+        self, shard: Corpus, config: TrainerConfig, rng, index: int = 0
+    ) -> None:
+        self._runner = ShardRunner(shard, config, rng, index=index)
         self._pending: Any = self._runner.local_word_topic()
 
     def post(self, command: str, payload: Any = None) -> None:
         if command == "epoch":
-            self._pending = self._runner.run_epoch(payload)
+            # run_epoch installs its own capture telemetry via use_telemetry,
+            # which restores the master's instance on exit — inline and
+            # process backends see the same telemetry environment.
+            self._pending = self._runner.run_epoch(*payload)
         elif command == "export":
             self._pending = self._runner.export_state()
         elif command == "import":
@@ -410,7 +450,8 @@ class ParallelTrainer:
         self._workers: List[Any]
         if backend == "inline":
             self._workers = [
-                _InlineWorker(shard, config, rng) for shard, rng in zip(shards, rngs)
+                _InlineWorker(shard, config, rng, index=i)
+                for i, (shard, rng) in enumerate(zip(shards, rngs))
             ]
         else:
             method = (
@@ -420,8 +461,8 @@ class ParallelTrainer:
             )
             context = multiprocessing.get_context(method)
             self._workers = [
-                _ProcessWorker(context, shard, config, rng)
-                for shard, rng in zip(shards, rngs)
+                _ProcessWorker(context, shard, config, rng, index=i)
+                for i, (shard, rng) in enumerate(zip(shards, rngs))
             ]
         # Barrier 0: collect the initial contributions into the global state.
         # A worker whose sampler fails to build reports here; reap the
@@ -469,11 +510,55 @@ class ParallelTrainer:
     # Training
     # ------------------------------------------------------------------ #
     def run_epoch(self) -> None:
-        """One synchronous epoch: broadcast, sample shards, merge at the barrier."""
+        """One synchronous epoch: broadcast, sample shards, merge at the barrier.
+
+        When telemetry is active the whole epoch runs under an ``epoch`` span;
+        each worker captures its shard's spans and metrics locally and ships
+        them home with its contribution, and the master absorbs them plus
+        derives the scaling diagnostics: ``parallel.worker_epoch_seconds``
+        (per-shard wall-time histogram), ``parallel.barrier_wait_seconds``
+        (how long each shard's result sat waiting for the slowest shard),
+        and the ``parallel.shard_skew_seconds`` gauge (slowest − fastest).
+        """
         self._check_open()
-        for worker in self._workers:
-            worker.post("epoch", self.global_word_topic)
-        contributions = [worker.wait() for worker in self._workers]
+        obs = get_telemetry()
+        if not obs.enabled:
+            for worker in self._workers:
+                worker.post("epoch", (self.global_word_topic, False))
+            replies = [worker.wait() for worker in self._workers]
+            contributions = [counts for counts, _ in replies]
+        else:
+            with obs.span(
+                "epoch", epoch=self.epochs_completed, workers=self.num_workers
+            ):
+                barrier_started = time.perf_counter()
+                for worker in self._workers:
+                    worker.post("epoch", (self.global_word_topic, True))
+                replies = [worker.wait() for worker in self._workers]
+                barrier_seconds = time.perf_counter() - barrier_started
+                contributions = []
+                shard_seconds: List[float] = []
+                for counts, payload in replies:
+                    contributions.append(counts)
+                    if payload is None:
+                        continue
+                    obs.absorb(payload)
+                    seconds = payload.get("seconds")
+                    if seconds is not None:
+                        shard_seconds.append(float(seconds))
+                        obs.observe("parallel.worker_epoch_seconds", float(seconds))
+                if shard_seconds:
+                    # A shard's barrier wait is the gap between its own finish
+                    # and the barrier release (dominated by the slowest shard).
+                    for seconds in shard_seconds:
+                        obs.observe(
+                            "parallel.barrier_wait_seconds",
+                            max(0.0, barrier_seconds - seconds),
+                        )
+                    obs.gauge(
+                        "parallel.shard_skew_seconds",
+                        max(shard_seconds) - min(shard_seconds),
+                    )
         self.global_word_topic = np.sum(contributions, axis=0, dtype=np.int64)
         self.epochs_completed += 1
 

@@ -1,0 +1,457 @@
+"""Tests for ``repro.obs``: instruments, the pinned percentile rule, span
+tracing, cross-process absorption, the no-op default's overhead bound, and
+the end-to-end guarantees (exact counts, bit-identical trajectories)."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro import WarpLDA
+from repro.corpus import Vocabulary
+from repro.obs import (
+    DEFAULT_BUCKET_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    Series,
+    Telemetry,
+    get_telemetry,
+    render_report,
+    use_telemetry,
+)
+from repro.training import ParallelTrainer
+
+
+# --------------------------------------------------------------------- #
+# Instruments
+# --------------------------------------------------------------------- #
+class TestInstruments:
+    def test_counter_only_goes_up(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_holds_last_value(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        assert gauge.value is None
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+    def test_series_rollover_keeps_lifetime_count(self):
+        series = Series(maxlen=4)
+        for value in range(6):
+            series.record(value)
+        assert list(series.values) == [2, 3, 4, 5]
+        assert series.observed == 6
+        assert series.last == 5
+
+    def test_name_belongs_to_one_instrument_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already a counter"):
+            registry.gauge("x")
+
+    def test_merge_is_exact(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for registry, scale in ((a, 1), (b, 10)):
+            registry.counter("tokens").inc(7 * scale)
+            registry.gauge("skew").set(scale)
+            for value in (0.001 * scale, 0.005 * scale):
+                registry.histogram("lat").record(value)
+            registry.series("rate").record(0.5 * scale)
+        a.merge(b.state_dict())
+        digest = a.to_dict()
+        assert digest["counters"]["tokens"] == 77
+        assert digest["gauges"]["skew"] == 10  # last writer wins
+        assert digest["histograms"]["lat"]["count"] == 4
+        assert digest["histograms"]["lat"]["sum"] == pytest.approx(0.066)
+        assert digest["series"]["rate"] == {"observed": 2, "values": [0.5, 5.0]}
+
+    def test_state_dict_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.histogram("h").record(0.5)
+        restored = MetricsRegistry()
+        restored.merge(json.loads(json.dumps(registry.state_dict())))
+        assert restored.to_dict() == registry.to_dict()
+
+
+# --------------------------------------------------------------------- #
+# The pinned percentile rule
+# --------------------------------------------------------------------- #
+class TestHistogramPercentiles:
+    def test_empty_histogram(self):
+        histogram = Histogram()
+        assert histogram.percentile(50) == 0.0
+        assert histogram.summary() == {"count": 0}
+
+    def test_single_sample_is_exact(self):
+        histogram = Histogram()
+        histogram.record(0.00123)
+        for q in (1, 50, 95, 99, 100):
+            assert histogram.percentile(q) == 0.00123
+
+    def test_two_samples_pinned(self):
+        # 0.001 lands in the (2^-10, 2^-9] bucket, 0.003 in (2^-9, 2^-8].
+        # p50's rank clamps to 1, interpolation reaches the first bucket's
+        # upper edge 2^-9, and the clamp keeps it inside [min, max]:
+        histogram = Histogram()
+        histogram.record(0.001)
+        histogram.record(0.003)
+        assert histogram.percentile(50) == 2.0**-9
+        # p95's rank 1.9 falls 0.9 into the second bucket; the interpolated
+        # value overshoots max and clamps to it — never above the larger
+        # sample, never np.percentile's midpoint average.
+        assert histogram.percentile(95) == 0.003
+
+    def test_percentiles_stay_in_observed_range_and_ordered(self):
+        rng = np.random.default_rng(0)
+        histogram = Histogram()
+        values = rng.lognormal(mean=-6, sigma=2, size=500)
+        for value in values:
+            histogram.record(value)
+        p50, p95, p99 = (histogram.percentile(q) for q in (50, 95, 99))
+        assert values.min() <= p50 <= p95 <= p99 <= values.max()
+
+    def test_merged_equals_single_pass(self):
+        rng = np.random.default_rng(1)
+        values = rng.exponential(0.01, size=200)
+        merged, reference = Histogram(), Histogram()
+        half = Histogram()
+        for value in values[:100]:
+            merged.record(value)
+        for value in values[100:]:
+            half.record(value)
+        merged.merge(half)
+        for value in values:
+            reference.record(value)
+        merged_summary, reference_summary = merged.summary(), reference.summary()
+        # Bucket-derived fields are exactly equal; sum/mean accumulate in a
+        # different order, so they only match to float round-off.
+        for key in ("count", "min", "max", "p50", "p95", "p99"):
+            assert merged_summary[key] == reference_summary[key]
+        for key in ("sum", "mean"):
+            assert merged_summary[key] == pytest.approx(reference_summary[key])
+
+    def test_bounds_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram([1.0, 2.0]).merge(Histogram([1.0, 3.0]))
+        with pytest.raises(ValueError):
+            Histogram([2.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram([])
+
+    def test_overflow_bucket_catches_huge_values(self):
+        histogram = Histogram()
+        histogram.record(10 * DEFAULT_BUCKET_BOUNDS[-1])
+        assert histogram.percentile(99) == 10 * DEFAULT_BUCKET_BOUNDS[-1]
+
+
+# --------------------------------------------------------------------- #
+# Prometheus exposition
+# --------------------------------------------------------------------- #
+class TestPrometheus:
+    def test_text_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("sampler.tokens_sampled").inc(5)
+        registry.gauge("parallel.shard_skew_seconds").set(0.25)
+        histogram = registry.histogram("span.sweep.seconds")
+        histogram.record(0.5)
+        histogram.record(3.0)
+        registry.series("mh.rate").record(0.8)
+        text = registry.to_prometheus()
+        assert "# TYPE sampler_tokens_sampled counter" in text
+        assert "sampler_tokens_sampled 5" in text
+        assert "parallel_shard_skew_seconds 0.25" in text
+        assert "mh_rate 0.8" in text  # series scrape as their last value
+        assert 'span_sweep_seconds_bucket{le="+Inf"} 2' in text
+        assert "span_sweep_seconds_sum 3.5" in text
+        assert "span_sweep_seconds_count 2" in text
+
+    def test_unset_gauges_not_exported(self):
+        registry = MetricsRegistry()
+        registry.gauge("never.set")
+        assert registry.to_prometheus() == ""
+
+
+# --------------------------------------------------------------------- #
+# Tracing
+# --------------------------------------------------------------------- #
+class TestTracing:
+    def test_jsonl_nesting(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Telemetry(path) as obs:
+            with obs.span("outer", run=1):
+                with obs.span("inner"):
+                    obs.event("tick", n=3)
+        event, inner, outer = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        # Spans are written on close: children appear before their parent.
+        assert outer["name"] == "outer" and outer["attrs"] == {"run": 1}
+        assert outer["parent"] is None and outer["depth"] == 0
+        assert inner["parent"] == outer["id"] and inner["depth"] == 1
+        assert event["type"] == "event" and event["name"] == "tick"
+        assert event["parent"] == inner["id"] and event["depth"] == 2
+        assert event["attrs"] == {"n": 3}
+        assert inner["seconds"] >= 0
+        # Every span also lands in its duration histogram.
+        digest = obs.registry.to_dict()["histograms"]
+        assert digest["span.outer.seconds"]["count"] == 1
+        assert digest["span.inner.seconds"]["count"] == 1
+
+    def test_buffered_absorb_grafts_subtree(self):
+        worker = Telemetry()
+        with worker.span("shard", worker=0):
+            worker.count("tok", 10)
+            with worker.span("sweep"):
+                pass
+        payload = worker.export_payload()
+
+        master = Telemetry()
+        with master.span("epoch"):
+            master.absorb(payload)
+        spans = {s["name"]: s for s in master.events if s["type"] == "span"}
+        assert master.registry.to_dict()["counters"]["tok"] == 10
+        assert spans["shard"]["parent"] == spans["epoch"]["id"]
+        assert spans["shard"]["depth"] == 1
+        assert spans["sweep"]["parent"] == spans["shard"]["id"]
+        assert spans["sweep"]["depth"] == 2
+        # Remapped ids are fresh, not the worker's.
+        assert len({s["id"] for s in spans.values()}) == 3
+
+    def test_absorb_tolerates_empty_payloads(self):
+        master = Telemetry()
+        master.absorb(None)
+        master.absorb({})
+        master.absorb({"metrics": {}, "events": []})
+        assert master.events == []
+
+    def test_use_telemetry_restores_previous(self):
+        assert get_telemetry().enabled is False
+        outer, inner = Telemetry(), Telemetry()
+        with use_telemetry(outer):
+            assert get_telemetry() is outer
+            with use_telemetry(inner):
+                assert get_telemetry() is inner
+            assert get_telemetry() is outer
+        assert get_telemetry().enabled is False
+
+    def test_noop_default_surface(self):
+        obs = get_telemetry()
+        assert obs.enabled is False
+        with obs.span("anything", k=1):
+            obs.count("x")
+            obs.event("y")
+            obs.gauge("z", 1.0)
+            obs.observe("w", 0.5)
+            obs.record("v", 2.0)
+
+    def test_close_is_idempotent_and_writes_metrics(self, tmp_path):
+        metrics_path = tmp_path / "m.json"
+        obs = Telemetry(tmp_path / "t.jsonl", metrics_path=metrics_path)
+        obs.count("x", 2)
+        obs.close()
+        obs.close()
+        assert json.loads(metrics_path.read_text())["counters"]["x"] == 2
+
+    def test_render_report_names_the_metrics(self):
+        obs = Telemetry()
+        obs.count("sampler.tokens_sampled", 100)
+        obs.observe("span.sweep.seconds", 0.01)
+        report = render_report(obs.registry)
+        assert "sampler.tokens_sampled" in report
+        assert "span.sweep.seconds" in report
+
+
+# --------------------------------------------------------------------- #
+# End-to-end instrumentation guarantees
+# --------------------------------------------------------------------- #
+class TestInstrumentedTraining:
+    def test_serial_counts_are_exact(self, small_corpus):
+        sweeps = 3
+        session = Telemetry()
+        with use_telemetry(session):
+            WarpLDA(small_corpus, num_topics=5, seed=0).fit(sweeps)
+        digest = session.registry.to_dict()
+        tokens = small_corpus.num_tokens
+        assert digest["counters"]["sampler.tokens_sampled"] == sweeps * tokens
+        # Default num_mh_steps=2: each token sees 2 proposals per phase.
+        for chain in ("mh.doc_proposal", "mh.word_proposal"):
+            proposed = digest["counters"][f"{chain}.proposed"]
+            accepted = digest["counters"][f"{chain}.accepted"]
+            assert proposed == 2 * sweeps * tokens
+            assert 0 < accepted <= proposed
+            assert digest["series"][f"{chain}.acceptance_rate"]["observed"] == sweeps
+        assert digest["series"]["sampler.tokens_per_sec"]["observed"] == sweeps
+        assert digest["histograms"]["span.sweep.seconds"]["count"] == sweeps
+
+    def test_instrumentation_never_changes_the_trajectory(self, small_corpus):
+        plain = WarpLDA(small_corpus, num_topics=5, seed=42).fit(5)
+        session = Telemetry()
+        with use_telemetry(session):
+            instrumented = WarpLDA(small_corpus, num_topics=5, seed=42).fit(5)
+        np.testing.assert_array_equal(plain.phi(), instrumented.phi())
+        assert session.registry.to_dict()["counters"]["sampler.tokens_sampled"] > 0
+
+    def test_parallel_counts_merge_exactly(self, small_corpus):
+        epochs, workers = 2, 2
+        session = Telemetry()
+        with ParallelTrainer(
+            small_corpus,
+            num_workers=workers,
+            num_topics=4,
+            seed=3,
+            backend="inline",
+        ) as trainer:
+            with use_telemetry(session):
+                trainer.train(epochs)
+        digest = session.registry.to_dict()
+        tokens = small_corpus.num_tokens
+        # Shards partition the corpus: cross-worker counter merge is lossless.
+        assert digest["counters"]["sampler.tokens_sampled"] == epochs * tokens
+        assert digest["counters"]["mh.doc_proposal.proposed"] == 2 * epochs * tokens
+        assert (
+            digest["histograms"]["parallel.worker_epoch_seconds"]["count"]
+            == epochs * workers
+        )
+        assert (
+            digest["histograms"]["parallel.barrier_wait_seconds"]["count"]
+            == epochs * workers
+        )
+        assert digest["gauges"]["parallel.shard_skew_seconds"] >= 0.0
+        # Span tree: every shard span grafts under an epoch span.
+        spans = [e for e in session.events if e["type"] == "span"]
+        by_id = {s["id"]: s for s in spans}
+        shard_spans = [s for s in spans if s["name"] == "shard"]
+        assert len(shard_spans) == epochs * workers
+        assert all(by_id[s["parent"]]["name"] == "epoch" for s in shard_spans)
+        assert sorted(s["attrs"]["worker"] for s in shard_spans) == [0, 0, 1, 1]
+
+    def test_streaming_reports_outlive_bounded_history(self, rng):
+        from repro.streaming import ModelRegistry, OnlineTrainer, StreamingPipeline
+
+        vocabulary = Vocabulary([f"w{i}" for i in range(30)])
+        trainer = OnlineTrainer(
+            num_topics=3,
+            window_docs=40,
+            sweeps_per_batch=1,
+            vocabulary=vocabulary,
+            seed=0,
+        )
+        pipeline = StreamingPipeline(
+            trainer, ModelRegistry(retain=2), publish_every=1, report_history=2
+        )
+        session = Telemetry()
+        with use_telemetry(session):
+            for _ in range(4):
+                pipeline.ingest([rng.integers(0, 30, size=12) for _ in range(5)])
+        reports = [
+            e
+            for e in session.events
+            if e["type"] == "event" and e["name"] == "ingest_report"
+        ]
+        # The deque kept 2 reports; telemetry saw all 4, in order
+        # (batch_index is 0-based, numbered by the trainer).
+        assert len(pipeline.reports) == 2
+        assert [e["attrs"]["batch_index"] for e in reports] == [0, 1, 2, 3]
+        digest = session.registry.to_dict()
+        assert digest["counters"]["streaming.batches_ingested"] == 4
+        assert digest["counters"]["streaming.documents_ingested"] == 20
+        assert digest["counters"]["registry.publishes"] == 4
+
+
+# --------------------------------------------------------------------- #
+# The overhead bound
+# --------------------------------------------------------------------- #
+class TestNoopOverhead:
+    def test_noop_probes_cost_under_3_percent_of_a_sweep(self, medium_corpus):
+        """An un-instrumented run pays one global lookup + attribute check
+        per probe site.  Project a generous per-sweep probe budget against
+        the measured probe cost and bound it by 3% of a real sweep."""
+        sampler = WarpLDA(medium_corpus, num_topics=8, seed=0)
+        sampler.fit(2)  # warm caches before timing
+        sweeps = 5
+        started = time.perf_counter()
+        sampler.fit(sweeps)
+        sweep_seconds = (time.perf_counter() - started) / sweeps
+
+        probes = 100_000
+        started = time.perf_counter()
+        for _ in range(probes):
+            if get_telemetry().enabled:  # pragma: no cover - never taken
+                raise AssertionError("telemetry unexpectedly enabled")
+        per_probe = (time.perf_counter() - started) / probes
+
+        # The sampler's hot path gates at sweep/phase granularity — well
+        # under 64 probe sites per sweep even counting span shorthands.
+        assert 64 * per_probe < 0.03 * sweep_seconds
+
+
+# --------------------------------------------------------------------- #
+# CLI --telemetry end to end
+# --------------------------------------------------------------------- #
+class TestCliTelemetry:
+    def test_train_writes_nested_trace_and_metrics(self, tmp_path, capsys):
+        from repro.api.cli import main
+
+        trace = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "train",
+                "--synthetic",
+                "--docs",
+                "40",
+                "--vocab-size",
+                "80",
+                "--doc-length",
+                "20",
+                "--topics",
+                "4",
+                "--iterations",
+                "2",
+                "--seed",
+                "0",
+                "--backend",
+                "parallel",
+                "--workers",
+                "2",
+                "--parallel-backend",
+                "inline",
+                "--telemetry",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry trace" in out
+        lines = [json.loads(line) for line in trace.read_text().splitlines()]
+        spans = [l for l in lines if l["type"] == "span"]
+        by_id = {s["id"]: s for s in spans}
+
+        def chain(span):
+            names = [span["name"]]
+            while span["parent"] is not None:
+                span = by_id[span["parent"]]
+                names.append(span["name"])
+            return tuple(reversed(names))
+
+        chains = {chain(s) for s in spans}
+        assert ("epoch",) in chains
+        assert ("epoch", "shard") in chains
+        assert ("epoch", "shard", "sweep") in chains
+        assert ("epoch", "shard", "sweep", "word_phase") in chains
+        assert ("epoch", "shard", "sweep", "doc_phase") in chains
+
+        metrics = json.loads(trace.with_suffix(".metrics.json").read_text())
+        assert metrics["counters"]["sampler.tokens_sampled"] > 0
+        assert metrics["series"]["mh.doc_proposal.acceptance_rate"]["observed"] > 0

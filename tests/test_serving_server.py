@@ -150,6 +150,41 @@ class TestStats:
         assert len(stats.latencies) == LATENCY_WINDOW
         assert stats.latencies[0] == 10.0  # oldest records dropped
 
+    def test_latency_percentiles_no_samples(self):
+        assert ServerStats().latency_percentiles() == {
+            "p50_ms": 0.0,
+            "p95_ms": 0.0,
+            "p99_ms": 0.0,
+        }
+
+    def test_latency_percentiles_single_sample_is_exact(self):
+        stats = ServerStats()
+        stats.latencies.append(0.002)
+        pct = stats.latency_percentiles()
+        assert pct["p50_ms"] == pct["p95_ms"] == pct["p99_ms"] == 2.0
+
+    def test_latency_percentiles_two_samples_pinned(self):
+        # The repro.obs histogram rule: 0.002 lands in the (2^-9, 2^-8]
+        # bucket, so p50 (rank 1) interpolates to that bucket's upper edge
+        # 2^-8 s; p99 (rank 1.98) overshoots and clamps to the larger
+        # sample.  Neither is np.percentile's midpoint average, and both
+        # stay inside the observed [2 ms, 4 ms].
+        stats = ServerStats()
+        stats.latencies.extend([0.002, 0.004])
+        pct = stats.latency_percentiles()
+        assert pct["p50_ms"] == 1e3 * 2.0**-8
+        assert pct["p99_ms"] == 4.0
+        assert 2.0 <= pct["p50_ms"] <= pct["p95_ms"] <= pct["p99_ms"] <= 4.0
+
+    def test_latency_percentiles_cover_only_the_window(self):
+        # Slow early requests roll off the bounded window; percentiles are
+        # computed over the surviving LATENCY_WINDOW samples only.
+        stats = ServerStats()
+        stats.latencies.extend([100.0] * 5)
+        stats.latencies.extend([0.001] * LATENCY_WINDOW)
+        pct = stats.latency_percentiles()
+        assert pct["p99_ms"] == 1.0  # the 100 s outliers are gone
+
     def test_invalid_batch_size_rejected(self, engine):
         with pytest.raises(ValueError):
             TopicServer(engine, max_batch_size=0)
