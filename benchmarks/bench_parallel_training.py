@@ -35,7 +35,7 @@ SEED = 0
 
 def run_parallel_training_bench():
     corpus = load_preset("nytimes_like", scale=SCALE, seed=SEED)
-    train, heldout = corpus.split(train_fraction=0.85, rng=SEED)
+    train, heldout = corpus.split(train_fraction=0.85, seed=SEED)
 
     # Serial reference.
     serial = WarpLDA(train, num_topics=NUM_TOPICS, seed=SEED)

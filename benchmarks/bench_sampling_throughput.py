@@ -175,7 +175,7 @@ def main(argv=None) -> int:
         args.seeds = args.seeds[:1]
 
     corpus = bench_corpus(args)
-    train, held = corpus.split(0.75, rng=1)
+    train, held = corpus.split(0.75, seed=1)
     print(
         f"corpus: {corpus.num_documents} docs, {corpus.num_tokens} tokens, "
         f"V={corpus.vocabulary_size}; K={args.topics}, "

@@ -48,7 +48,7 @@ def per_document_em(documents, phi, alpha, num_iterations):
 def run_serving_bench():
     rng = np.random.default_rng(0)
     corpus = load_preset("nytimes_like", scale=0.2, seed=0)
-    train, held_out = corpus.split(train_fraction=0.8, rng=1)
+    train, held_out = corpus.split(train_fraction=0.8, seed=1)
     snapshot = (
         WarpLDA(train, num_topics=NUM_TOPICS, seed=0)
         .fit(TRAIN_ITERATIONS)

@@ -26,7 +26,7 @@ def test_table4_l3_miss_rates(benchmark, emit):
         for preset, scale, num_topics in SETTINGS:
             corpus = load_preset(preset, scale=scale, seed=0)
             results = l3_miss_rate_experiment(
-                corpus, num_topics=num_topics, max_tokens=4000, rng=0
+                corpus, num_topics=num_topics, max_tokens=4000, seed=0
             )
             for algorithm, values in results.items():
                 rows.append(

@@ -31,12 +31,12 @@ def main() -> None:
             "randomly accessed memory": row.random_memory_per_doc,
             "bytes": row.random_memory_per_doc_bytes,
         }
-        for row in access_pattern_table(corpus, num_topics, rng=0)
+        for row in access_pattern_table(corpus, num_topics, seed=0)
     ]
     print(format_table(rows))
 
     print("\nSimulated L3 behaviour (paper Table 4), M=1:")
-    results = l3_miss_rate_experiment(corpus, num_topics, max_tokens=6000, rng=0)
+    results = l3_miss_rate_experiment(corpus, num_topics, max_tokens=6000, seed=0)
     print(format_table([
         {
             "algorithm": name,

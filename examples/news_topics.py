@@ -43,7 +43,7 @@ def build_text_corpus(num_documents: int = 300, words_per_document: int = 60, se
 
 def main() -> None:
     corpus = build_text_corpus()
-    train, held_out = corpus.split(0.8, rng=0)
+    train, held_out = corpus.split(0.8, seed=0)
     num_topics = 4
 
     runs = {}

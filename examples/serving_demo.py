@@ -18,7 +18,7 @@ from repro.serving import InferenceEngine, ModelSnapshot, TopicServer
 def main() -> None:
     # 1. Train on a synthetic NYTimes-like corpus, holding out 20% of it.
     corpus = load_preset("nytimes_like", scale=0.2, seed=0)
-    train, unseen = corpus.split(train_fraction=0.8, rng=1)
+    train, unseen = corpus.split(train_fraction=0.8, seed=1)
     print(f"Training on {train.num_documents} documents "
           f"({train.num_tokens} tokens), holding out {unseen.num_documents}")
     model = WarpLDA(train, num_topics=20, num_mh_steps=2, seed=0).fit(30)

@@ -32,7 +32,7 @@ def main() -> None:
     # A synthetic NYTimes-like corpus stands in for the live traffic; we
     # replay its documents as raw token lists, exactly what a feed delivers.
     source = load_preset("nytimes_like", scale=0.6, seed=0)
-    arriving, queries_pool = source.split(train_fraction=0.85, rng=1)
+    arriving, queries_pool = source.split(train_fraction=0.85, seed=1)
 
     def raw(corpus, d):
         return [corpus.vocabulary.word(w) for w in corpus.document_words(d)]

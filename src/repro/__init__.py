@@ -57,6 +57,10 @@ Subpackages
     Streaming ingestion and online training: mini-batch document streams,
     sliding-window updates with count decay, a versioned model registry and
     hot-swap serving (spec backend ``online``).
+``repro.analysis``
+    The project's AST-based invariant linter: RNG discipline, telemetry
+    purity, kernel purity, lock discipline, pickling safety and API
+    hygiene (``python -m repro.analysis src/``).
 
 Importing ``repro`` is deliberately light: the top-level names below are
 resolved lazily (PEP 562), so ``import repro`` pulls in neither

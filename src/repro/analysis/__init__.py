@@ -1,0 +1,49 @@
+"""repro.analysis — the project's AST-based invariant linter.
+
+A zero-dependency static-analysis framework (stdlib :mod:`ast` only) plus
+six project-specific rule families that machine-check the invariants the
+repo's guarantees rest on: RNG discipline (``RNG``), telemetry purity
+(``OBS``), kernel purity (``KER``), lock discipline (``LOCK``),
+multiprocessing pickling safety (``MP``) and API hygiene (``API``).  See
+``docs/invariants.md`` for the rule catalogue and the reasoning behind
+each rule, and :mod:`repro.analysis.core` for the framework itself.
+
+Run it::
+
+    python -m repro.analysis src/            # exit 0 = clean
+    python -m repro.analysis --list-rules    # the rule catalogue
+
+Suppress a single deliberate violation with a justified comment::
+
+    self._hits += 1  # repro: noqa[LOCK001] — single-threaded stats path
+
+Unused suppressions are themselves findings (``SUP001``), so stale noqa
+comments cannot accumulate.
+"""
+
+from repro.analysis import checks as _checks  # registers built-in checkers
+from repro.analysis.core import (
+    Analyzer,
+    AnalysisReport,
+    Checker,
+    Finding,
+    ModuleContext,
+    Rule,
+    all_rules,
+    register_checker,
+    registered_checkers,
+)
+
+__all__ = [
+    "Analyzer",
+    "AnalysisReport",
+    "Checker",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "register_checker",
+    "registered_checkers",
+]
+
+del _checks

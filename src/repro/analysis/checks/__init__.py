@@ -1,0 +1,25 @@
+"""The built-in checker plugins.
+
+Importing this package registers every built-in checker with
+:data:`repro.analysis.core.CHECKER_REGISTRY` (registration happens at
+class-definition time via the :func:`~repro.analysis.core.register_checker`
+decorator).  Third-party checkers register the same way: subclass
+:class:`~repro.analysis.core.Checker`, decorate, import before building the
+:class:`~repro.analysis.core.Analyzer`.
+"""
+
+from repro.analysis.checks.api import ApiChecker
+from repro.analysis.checks.kernels import KernelChecker
+from repro.analysis.checks.locks import LockChecker
+from repro.analysis.checks.procs import ProcessChecker
+from repro.analysis.checks.rng import RngChecker
+from repro.analysis.checks.telemetry import TelemetryChecker
+
+__all__ = [
+    "ApiChecker",
+    "KernelChecker",
+    "LockChecker",
+    "ProcessChecker",
+    "RngChecker",
+    "TelemetryChecker",
+]

@@ -1,0 +1,246 @@
+"""API hygiene: ``__all__`` truthfulness, lazy imports, honest deprecations.
+
+* ``API001`` — a literal ``__all__`` must only name things the module
+  actually binds (dangling names break ``from m import *`` and doc tools),
+  and every public top-level class/function must be listed (unlisted
+  public defs drift out of the documented surface).  Modules whose
+  ``__all__`` is computed (the lazy packages) are skipped.
+* ``API002`` — PR 5's lazy-import guarantee: ``repro/__init__`` and
+  ``repro.evaluation`` may not import ``multiprocessing``/``concurrent``
+  or the serving/streaming/training/api packages at module level;
+  ``import repro`` must stay cheap and fork-safe.
+* ``API003`` — a ``warnings.warn`` whose message says "deprecated" must
+  pass ``DeprecationWarning`` (or a subclass); the default ``UserWarning``
+  evades test suites' deprecation filters and tooling.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    ModuleContext,
+    Rule,
+    attribute_chain,
+    register_checker,
+)
+
+__all__ = ["ApiChecker"]
+
+#: Modules bound by the lazy-import guarantee (PR 5).
+_LAZY_MODULES = {"repro", "repro.evaluation"}
+
+#: Imports that must not appear at module level in lazy modules.
+_HEAVY_ROOTS = {"multiprocessing", "concurrent"}
+_HEAVY_REPRO = {"serving", "streaming", "training", "api"}
+
+_DEPRECATION_CATEGORIES = {
+    "DeprecationWarning",
+    "PendingDeprecationWarning",
+    "FutureWarning",
+}
+
+
+def _literal_all(node: ast.Assign) -> Optional[List[str]]:
+    """The string elements of a literal ``__all__``; ``None`` if computed."""
+    if not isinstance(node.value, (ast.List, ast.Tuple)):
+        return None
+    names = []
+    for element in node.value.elts:
+        if not (
+            isinstance(element, ast.Constant) and isinstance(element.value, str)
+        ):
+            return None
+        names.append(element.value)
+    return names
+
+
+def _message_mentions_deprecated(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return "deprecat" in node.value.lower()
+    if isinstance(node, ast.JoinedStr):
+        return any(
+            isinstance(part, ast.Constant)
+            and isinstance(part.value, str)
+            and "deprecat" in part.value.lower()
+            for part in node.values
+        )
+    return False
+
+
+@register_checker
+class ApiChecker(Checker):
+    name = "api"
+    RULES = (
+        Rule(
+            "API001",
+            "__all__ out of sync with the module's actual exports",
+            "a dangling __all__ name breaks `import *`; an unlisted public "
+            "def silently drifts out of the documented surface",
+        ),
+        Rule(
+            "API002",
+            "lazy module imports a heavy dependency at module level",
+            "repro/__init__ and repro.evaluation promise (PR 5) that "
+            "`import repro` never pulls in multiprocessing or the serving "
+            "stack — cheap and fork-safe",
+        ),
+        Rule(
+            "API003",
+            "deprecation message without DeprecationWarning category",
+            "warnings.warn('... deprecated ...') defaults to UserWarning, "
+            "which deprecation filters and test gates never see",
+        ),
+    )
+
+    def begin_module(self, ctx: ModuleContext) -> None:
+        self._bound: Set[str] = set()
+        self._public_defs: Dict[str, int] = {}
+        self._all_names: Optional[List[str]] = None
+        self._all_node: Optional[ast.Assign] = None
+        self._has_all = False
+        for stmt in ctx.tree.body:
+            self._collect_binding(stmt)
+
+    def _collect_binding(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            self._bound.add(stmt.name)
+            if not stmt.name.startswith("_"):
+                self._public_defs[stmt.name] = stmt.lineno
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    if target.id == "__all__":
+                        self._has_all = True
+                        self._all_node = stmt
+                        self._all_names = _literal_all(stmt)
+                    else:
+                        self._bound.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            self._bound.add(stmt.target.id)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                self._bound.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                self._bound.add(alias.asname or alias.name)
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.stmt) and sub is not stmt:
+                    self._collect_binding(sub)
+
+    # -------------------------------------------------------------- #
+    # API002: lazy-import guarantee.
+    # -------------------------------------------------------------- #
+    def visit_Import(self, node: ast.Import, ctx: ModuleContext) -> None:
+        if ctx.module not in _LAZY_MODULES or self._inside_def(ctx):
+            return
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            parts = alias.name.split(".")
+            heavy = root in _HEAVY_ROOTS or (
+                root == "repro" and len(parts) > 1 and parts[1] in _HEAVY_REPRO
+            )
+            if heavy:
+                ctx.report(
+                    "API002",
+                    node,
+                    f"module-level `import {alias.name}` breaks the lazy-"
+                    f"import guarantee of `{ctx.module}` — defer it into "
+                    f"__getattr__",
+                )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx: ModuleContext) -> None:
+        if ctx.module not in _LAZY_MODULES or self._inside_def(ctx):
+            return
+        if node.level > 0:
+            base: Optional[str] = ctx.module if node.level == 1 else None
+        else:
+            base = node.module
+        if base is None:
+            return
+        root = base.split(".")[0]
+        parts = base.split(".")
+        heavy = root in _HEAVY_ROOTS or (
+            root == "repro" and len(parts) > 1 and parts[1] in _HEAVY_REPRO
+        )
+        if not heavy and root == "repro" and len(parts) == 1:
+            heavy = any(
+                alias.name in _HEAVY_REPRO for alias in node.names
+            )
+        if base == ctx.module:
+            heavy = heavy or any(alias.name in _HEAVY_REPRO for alias in node.names)
+        if heavy:
+            ctx.report(
+                "API002",
+                node,
+                f"module-level `from {base} import ...` breaks the lazy-"
+                f"import guarantee of `{ctx.module}` — defer it into "
+                f"__getattr__",
+            )
+
+    @staticmethod
+    def _inside_def(ctx: ModuleContext) -> bool:
+        return any(
+            isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+            for scope in ctx.scopes
+        )
+
+    # -------------------------------------------------------------- #
+    # API003: honest deprecations.
+    # -------------------------------------------------------------- #
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        name = attribute_chain(node.func)
+        if name not in {"warnings.warn", "warn"}:
+            return
+        if not node.args or not _message_mentions_deprecated(node.args[0]):
+            return
+        category: Optional[ast.expr] = None
+        if len(node.args) >= 2:
+            category = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "category":
+                category = keyword.value
+        category_name = (
+            attribute_chain(category) if category is not None else None
+        )
+        if (
+            category_name is None
+            or category_name.split(".")[-1] not in _DEPRECATION_CATEGORIES
+        ):
+            ctx.report(
+                "API003",
+                node,
+                "deprecation message warned without DeprecationWarning — "
+                "pass category=DeprecationWarning so filters see it",
+            )
+
+    # -------------------------------------------------------------- #
+    # API001: __all__ truthfulness (whole-module, so finish hook).
+    # -------------------------------------------------------------- #
+    def finish_module(self, ctx: ModuleContext) -> None:
+        if not self._has_all or self._all_names is None:
+            return  # no __all__, or computed __all__ (lazy modules): skip
+        assert self._all_node is not None
+        for name in self._all_names:
+            if name not in self._bound and name != "__version__":
+                ctx.report(
+                    "API001",
+                    self._all_node,
+                    f"__all__ lists `{name}` but the module never binds it",
+                )
+        listed = set(self._all_names)
+        for name, lineno in sorted(self._public_defs.items()):
+            if name not in listed:
+                ctx.findings.append(
+                    Finding(
+                        ctx.path,
+                        lineno,
+                        "API001",
+                        f"public `{name}` is not listed in __all__ — add it "
+                        f"or make it private",
+                    )
+                )

@@ -1,0 +1,179 @@
+"""Lock discipline (race-detector-lite): guarded classes stay guarded.
+
+A class that constructs a :class:`threading.Lock`/``RLock`` for itself has
+declared its instance state shared; from then on, every direct attribute
+write in a public code path must happen under that lock, or two threads
+can interleave half-updated state (exactly the registry/serving races the
+PR 4 design closed).  ``LOCK001`` flags direct ``self.<attr>`` stores (and
+container-mutator calls on them) outside a ``with self.<lock>:`` block.
+
+Deliberately out of scope, to keep the signal clean:
+
+* ``__init__``/``__post_init__``/``__new__`` — construction happens before
+  the instance is shared;
+* methods named ``*_locked`` — the repo's convention for "caller holds the
+  lock" helpers (:meth:`repro.streaming.registry.ModelRegistry._gc_locked`);
+* nested attribute writes (``self._local.stack = …``) — thread-local and
+  delegate objects manage their own safety.
+
+Suppress a deliberate unguarded write with
+``# repro: noqa[LOCK001] — <why it is safe>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.core import (
+    Checker,
+    ModuleContext,
+    Rule,
+    attribute_chain,
+    register_checker,
+)
+
+__all__ = ["LockChecker"]
+
+_LOCK_FACTORY_NAMES = {"Lock", "RLock"}
+
+_EXEMPT_METHODS = {"__init__", "__post_init__", "__new__", "__del__"}
+
+_CONTAINER_MUTATORS = {
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "clear",
+    "add",
+    "discard",
+    "update",
+    "setdefault",
+    "popitem",
+}
+
+
+def _is_self_attr(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+@register_checker
+class LockChecker(Checker):
+    name = "locks"
+    RULES = (
+        Rule(
+            "LOCK001",
+            "unguarded attribute write in a lock-owning class",
+            "a class that constructs a threading.Lock/RLock has declared "
+            "its state shared; writes outside `with self.<lock>:` let "
+            "threads observe half-updated state",
+        ),
+    )
+
+    def visit_ClassDef(self, node: ast.ClassDef, ctx: ModuleContext) -> None:
+        lock_attrs = self._find_lock_attrs(node)
+        if not lock_attrs:
+            return
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name in _EXEMPT_METHODS or item.name.endswith("_locked"):
+                continue
+            self._check_method(item, lock_attrs, node.name, ctx)
+
+    # -------------------------------------------------------------- #
+    @staticmethod
+    def _find_lock_attrs(node: ast.ClassDef) -> Set[str]:
+        """Names of ``self.<attr>`` bound to ``threading.Lock()``/``RLock()``."""
+        lock_attrs: Set[str] = set()
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Assign):
+                continue
+            if not isinstance(child.value, ast.Call):
+                continue
+            func = attribute_chain(child.value.func)
+            if func is None or func.split(".")[-1] not in _LOCK_FACTORY_NAMES:
+                continue
+            for target in child.targets:
+                if _is_self_attr(target):
+                    lock_attrs.add(target.attr)
+        return lock_attrs
+
+    # -------------------------------------------------------------- #
+    def _check_method(
+        self,
+        method: ast.AST,
+        lock_attrs: Set[str],
+        class_name: str,
+        ctx: ModuleContext,
+    ) -> None:
+        def is_lock_guard(with_node: ast.AST) -> bool:
+            for item in with_node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):
+                    expr = expr.func
+                if _is_self_attr(expr) and expr.attr in lock_attrs:
+                    return True
+            return False
+
+        def walk(node: ast.AST, under_lock: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue  # nested defs run later, in their own context
+                child_locked = under_lock
+                if isinstance(child, (ast.With, ast.AsyncWith)) and is_lock_guard(
+                    child
+                ):
+                    child_locked = True
+                if not under_lock:
+                    self._check_store(child, lock_attrs, class_name, method, ctx)
+                walk(child, child_locked)
+
+        walk(method, under_lock=False)
+
+    def _check_store(
+        self,
+        node: ast.AST,
+        lock_attrs: Set[str],
+        class_name: str,
+        method: ast.AST,
+        ctx: ModuleContext,
+    ) -> None:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            attr = None
+            if _is_self_attr(target):
+                attr = target.attr
+            elif isinstance(target, ast.Subscript) and _is_self_attr(target.value):
+                attr = target.value.attr
+            if attr is not None and attr not in lock_attrs:
+                ctx.report(
+                    "LOCK001",
+                    node,
+                    f"`{class_name}.{method.name}` writes `self.{attr}` "
+                    f"outside `with self.<lock>:` although {class_name} "
+                    f"owns a lock",
+                )
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _CONTAINER_MUTATORS
+                and _is_self_attr(func.value)
+            ):
+                ctx.report(
+                    "LOCK001",
+                    node,
+                    f"`{class_name}.{method.name}` mutates "
+                    f"`self.{func.value.attr}` via `.{func.attr}()` outside "
+                    f"`with self.<lock>:` although {class_name} owns a lock",
+                )

@@ -1,0 +1,116 @@
+"""Multiprocessing pickling safety: only importable callables cross processes.
+
+The spawn start method (the only portable one, and what
+:class:`repro.training.parallel.ParallelTrainer` uses) pickles the target
+callable by qualified name.  A lambda, closure, or function defined inside
+another function fails that pickling — at *spawn* time, on the user's
+machine, not in tests that happen to use fork.  ``MP001`` flags them at the
+call site, where the fix (hoist to module level, like
+``repro.training.parallel._worker_main``) is obvious.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Set
+
+from repro.analysis.core import (
+    Checker,
+    ModuleContext,
+    Rule,
+    attribute_chain,
+    register_checker,
+)
+
+__all__ = ["ProcessChecker"]
+
+#: Pool/executor methods whose first argument is a callable shipped to
+#: another process.
+_SUBMIT_METHODS = {
+    "submit",
+    "apply",
+    "apply_async",
+    "map",
+    "map_async",
+    "starmap",
+    "starmap_async",
+    "imap",
+    "imap_unordered",
+}
+
+#: Constructors whose ``target=`` is a callable shipped to another process.
+_SPAWN_CONSTRUCTORS = {"Process"}
+
+
+@register_checker
+class ProcessChecker(Checker):
+    name = "procs"
+    RULES = (
+        Rule(
+            "MP001",
+            "unpicklable callable crosses a process boundary",
+            "spawn pickles the target by qualified name; lambdas, closures "
+            "and function-local defs fail at spawn time on the user's "
+            "machine — hoist the worker to module level",
+        ),
+    )
+
+    def begin_module(self, ctx: ModuleContext) -> None:
+        # Pre-scan: names of callables defined inside a function scope
+        # (nested defs, and lambdas bound to a name).
+        self._local_callables: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for child in ast.walk(node):
+                if child is node:
+                    continue
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._local_callables.add(child.name)
+                elif isinstance(child, ast.Assign) and isinstance(
+                    child.value, ast.Lambda
+                ):
+                    for target in child.targets:
+                        if isinstance(target, ast.Name):
+                            self._local_callables.add(target.id)
+
+    # -------------------------------------------------------------- #
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        candidate = self._shipped_callable(node)
+        if candidate is None:
+            return
+        if isinstance(candidate, ast.Lambda):
+            ctx.report(
+                "MP001",
+                node,
+                "lambda passed across a process boundary cannot be pickled "
+                "under spawn — hoist it to a module-level function",
+            )
+        elif (
+            isinstance(candidate, ast.Name)
+            and candidate.id in self._local_callables
+        ):
+            ctx.report(
+                "MP001",
+                node,
+                f"`{candidate.id}` is defined inside a function, so it "
+                f"cannot be pickled under spawn — hoist it to module level",
+            )
+
+    @staticmethod
+    def _shipped_callable(node: ast.Call) -> Optional[ast.expr]:
+        func = node.func
+        name = attribute_chain(func)
+        last = name.split(".")[-1] if name else None
+        if last in _SPAWN_CONSTRUCTORS:
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    return keyword.value
+            return None
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SUBMIT_METHODS
+            and node.args
+        ):
+            return node.args[0]
+        return None

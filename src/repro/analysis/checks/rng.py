@@ -1,0 +1,218 @@
+"""RNG discipline: every random draw threads an explicit, seeded generator.
+
+The facade equivalence tests (PR 5) and the instrumented-vs-plain
+bit-identity guarantee (PR 6) only hold if no code path consults hidden
+global RNG state.  The canonical front door is
+:func:`repro.sampling.rng.ensure_rng`; these rules keep everything routed
+through it:
+
+* ``RNG001`` — no legacy ``np.random.<fn>()`` global-state calls;
+* ``RNG002`` — no stdlib ``random.<fn>()`` calls;
+* ``RNG003`` — no seedless ``default_rng()`` (seedless = irreproducible);
+* ``RNG004`` — a declared ``rng``/``seed`` parameter must actually be used
+  (an ignored one silently breaks the caller's determinism expectations).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from repro.analysis.core import (
+    Checker,
+    ModuleContext,
+    Rule,
+    attribute_chain,
+    register_checker,
+)
+
+__all__ = ["RngChecker"]
+
+#: np.random attributes that are constructors/types, not global-state draws.
+_ALLOWED_NP_RANDOM = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+    "RandomState",  # constructing an explicit (owned) legacy state object
+}
+
+#: stdlib ``random`` attributes that do not consume global state.
+_ALLOWED_STDLIB_RANDOM = {"Random", "SystemRandom", "getstate", "setstate"}
+
+_RNG_PARAM_NAMES = {"rng", "seed"}
+
+
+def _is_trivial_body(node: ast.AST) -> bool:
+    """True for stub bodies: docstring plus ``pass``/``...``/bare ``raise``."""
+    body = list(getattr(node, "body", []))
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]
+    if not body:
+        return True
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue
+        if isinstance(stmt, ast.Raise):
+            continue
+        return False
+    return True
+
+
+def _is_abstract(node: ast.AST) -> bool:
+    for decorator in getattr(node, "decorator_list", []):
+        name = attribute_chain(decorator)
+        if name and name.split(".")[-1] in {
+            "abstractmethod",
+            "abstractproperty",
+            "overload",
+        }:
+            return True
+    return False
+
+
+@register_checker
+class RngChecker(Checker):
+    name = "rng"
+    RULES = (
+        Rule(
+            "RNG001",
+            "legacy np.random global-state call",
+            "np.random.<fn>() draws from hidden module-global state; runs "
+            "are irreproducible and cross-contaminate — thread a Generator "
+            "through repro.sampling.rng.ensure_rng instead",
+        ),
+        Rule(
+            "RNG002",
+            "stdlib random global-state call",
+            "random.<fn>() consumes interpreter-global state invisible to "
+            "seed threading; use the numpy Generator already threaded "
+            "through the call chain",
+        ),
+        Rule(
+            "RNG003",
+            "seedless default_rng()",
+            "default_rng() with no/None seed pulls OS entropy, so no two "
+            "runs agree; accept a seed/rng parameter and call "
+            "ensure_rng(seed)",
+        ),
+        Rule(
+            "RNG004",
+            "declared rng/seed parameter is never used",
+            "a function advertising `rng`/`seed` but ignoring it silently "
+            "breaks the caller's determinism expectations — use it or "
+            "remove it",
+        ),
+    )
+
+    def begin_module(self, ctx: ModuleContext) -> None:
+        self._stdlib_aliases: Set[str] = set()
+        self._stdlib_from: Set[str] = set()
+
+    # -------------------------------------------------------------- #
+    def visit_Import(self, node: ast.Import, ctx: ModuleContext) -> None:
+        for alias in node.names:
+            if alias.name == "random":
+                self._stdlib_aliases.add(alias.asname or "random")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx: ModuleContext) -> None:
+        if node.module == "random" and node.level == 0:
+            for alias in node.names:
+                if alias.name not in _ALLOWED_STDLIB_RANDOM:
+                    self._stdlib_from.add(alias.asname or alias.name)
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        name = attribute_chain(node.func)
+        if name is None:
+            return
+        parts = name.split(".")
+        # RNG001: np.random.<fn>( ... ) on module-global state.
+        if (
+            len(parts) == 3
+            and parts[0] in {"np", "numpy"}
+            and parts[1] == "random"
+            and parts[2] not in _ALLOWED_NP_RANDOM
+        ):
+            ctx.report(
+                "RNG001",
+                node,
+                f"call to `{name}()` uses numpy's global RNG state; thread "
+                f"an explicit Generator (ensure_rng) instead",
+            )
+            return
+        # RNG002: stdlib random.
+        if (
+            len(parts) == 2
+            and parts[0] in self._stdlib_aliases
+            and parts[1] not in _ALLOWED_STDLIB_RANDOM
+        ) or (len(parts) == 1 and parts[0] in self._stdlib_from):
+            ctx.report(
+                "RNG002",
+                node,
+                f"call to `{name}()` uses the stdlib global RNG; use the "
+                f"threaded numpy Generator instead",
+            )
+            return
+        # RNG003: default_rng() with no seed (or an explicit None).
+        if parts[-1] == "default_rng" and parts[0] in {"np", "numpy", "default_rng"}:
+            seedless = not node.args and not node.keywords
+            if (
+                len(node.args) == 1
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None
+            ):
+                seedless = True
+            if seedless:
+                ctx.report(
+                    "RNG003",
+                    node,
+                    "seedless `default_rng()` pulls OS entropy — pass a "
+                    "seed (ensure_rng(seed)) so runs are reproducible",
+                )
+
+    # -------------------------------------------------------------- #
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: ModuleContext) -> None:
+        self._check_params_used(node, ctx)
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, ctx: ModuleContext
+    ) -> None:
+        self._check_params_used(node, ctx)
+
+    def _check_params_used(self, node: ast.AST, ctx: ModuleContext) -> None:
+        if _is_abstract(node) or _is_trivial_body(node):
+            return
+        arguments = node.args
+        declared = [
+            arg.arg
+            for arg in (
+                arguments.posonlyargs + arguments.args + arguments.kwonlyargs
+            )
+            if arg.arg in _RNG_PARAM_NAMES
+        ]
+        if not declared:
+            return
+        used: Set[str] = set()
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name) and child.id in _RNG_PARAM_NAMES:
+                used.add(child.id)
+        for param in declared:
+            if param not in used:
+                ctx.report(
+                    "RNG004",
+                    node,
+                    f"function `{node.name}` declares `{param}` but never "
+                    f"uses it; callers expect it to control the randomness",
+                )

@@ -1,0 +1,166 @@
+"""Telemetry purity: observation must never perturb (or feed) computation.
+
+PR 6's bit-identity guarantee — instrumented and plain runs produce the
+same model — holds because hot loops pay for telemetry only behind the
+``enabled`` flag and because no numeric code path depends on a recorded
+value.  Two rules enforce it:
+
+* ``OBS001`` — a recording call (``count``/``gauge``/``observe``/``record``)
+  on a handle obtained from ``get_telemetry()`` must be lexically inside an
+  ``if <handle>.enabled:`` guard.  ``span``/``event`` at coarse boundaries
+  are exempt (the no-op implementation makes them free; see
+  :mod:`repro.obs.trace`), as is :mod:`repro.obs` itself.
+* ``OBS002`` — reading a metric value back (``.value``, ``.percentile()``,
+  …) through a live handle's ``registry`` is feedback from observation into
+  state; export/reporting modules read registries passed as plain data
+  instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from repro.analysis.core import (
+    Checker,
+    ModuleContext,
+    Rule,
+    attribute_chain,
+    call_chain,
+    register_checker,
+)
+
+__all__ = ["TelemetryChecker"]
+
+#: Recording methods that must be gated in hot paths.
+_RECORDING_METHODS = {"count", "gauge", "observe", "record"}
+
+#: Metric read-back terminals (attributes or methods) under ``.registry``.
+_READBACK_TERMINALS = {
+    "value",
+    "mean",
+    "total",
+    "last",
+    "min",
+    "max",
+    "percentile",
+    "summary",
+    "values",
+}
+
+#: Modules where telemetry is *implemented*, not consumed.
+_EXEMPT_PREFIX = "repro.obs"
+
+
+@register_checker
+class TelemetryChecker(Checker):
+    name = "telemetry"
+    RULES = (
+        Rule(
+            "OBS001",
+            "ungated telemetry recording call",
+            "count/gauge/observe/record on a get_telemetry() handle outside "
+            "an `if <handle>.enabled:` guard pays dict/lock costs on every "
+            "hot-loop iteration even when telemetry is off",
+        ),
+        Rule(
+            "OBS002",
+            "metric value read back through a live telemetry handle",
+            "reading .value/.percentile() off get_telemetry().registry feeds "
+            "observation back into computation, breaking instrumented-vs-"
+            "plain bit-identity",
+        ),
+    )
+
+    def begin_module(self, ctx: ModuleContext) -> None:
+        # scope-id -> names bound from get_telemetry() in that scope.
+        self._handles: Dict[int, Set[str]] = {}
+
+    def _exempt(self, ctx: ModuleContext) -> bool:
+        return ctx.module == _EXEMPT_PREFIX or ctx.module.startswith(
+            _EXEMPT_PREFIX + "."
+        )
+
+    def _scope_key(self, ctx: ModuleContext) -> int:
+        return id(ctx.scopes[-1]) if ctx.scopes else id(ctx.tree)
+
+    def _tracked(self, name: str, ctx: ModuleContext) -> bool:
+        for scope in [ctx.tree] + list(ctx.scopes):
+            if name in self._handles.get(id(scope), ()):
+                return True
+        return False
+
+    # -------------------------------------------------------------- #
+    def visit_Assign(self, node: ast.Assign, ctx: ModuleContext) -> None:
+        if not isinstance(node.value, ast.Call):
+            return
+        func = attribute_chain(node.value.func)
+        if func is None or func.split(".")[-1] != "get_telemetry":
+            return
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._handles.setdefault(self._scope_key(ctx), set()).add(target.id)
+
+    # -------------------------------------------------------------- #
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        if self._exempt(ctx):
+            return
+        func = node.func
+        # OBS001: <handle>.count(...) etc. must be under `if <handle>.enabled`.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _RECORDING_METHODS
+            and isinstance(func.value, ast.Name)
+            and self._tracked(func.value.id, ctx)
+            and not self._guarded(func.value.id, ctx.ancestors)
+        ):
+            ctx.report(
+                "OBS001",
+                node,
+                f"`{func.value.id}.{func.attr}(...)` is not inside an "
+                f"`if {func.value.id}.enabled:` guard — hot paths must not "
+                f"pay for disabled telemetry",
+            )
+        # OBS002 for method-style read-backs: ....registry....percentile().
+        if isinstance(func, ast.Attribute) and func.attr in {
+            "percentile",
+            "summary",
+        }:
+            self._check_readback(func, ctx)
+
+    def visit_Attribute(self, node: ast.Attribute, ctx: ModuleContext) -> None:
+        if self._exempt(ctx):
+            return
+        if node.attr in _READBACK_TERMINALS - {"percentile", "summary"}:
+            self._check_readback(node, ctx)
+
+    def _check_readback(self, node: ast.Attribute, ctx: ModuleContext) -> None:
+        chain = call_chain(node)
+        if len(chain) < 3 or "registry" not in chain[:-1]:
+            return
+        root = chain[0]
+        if root == "get_telemetry" or self._tracked(root, ctx):
+            ctx.report(
+                "OBS002",
+                node,
+                f"`{'.'.join(chain)}` reads a metric value back through a "
+                f"live telemetry handle; telemetry must stay write-only "
+                f"from compute code",
+            )
+
+    # -------------------------------------------------------------- #
+    @staticmethod
+    def _guarded(handle: str, ancestors: List[ast.AST]) -> bool:
+        """Is any enclosing ``if``/ternary test a read of ``handle.enabled``?"""
+        for ancestor in ancestors:
+            if not isinstance(ancestor, (ast.If, ast.IfExp)):
+                continue
+            for sub in ast.walk(ancestor.test):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and sub.attr == "enabled"
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == handle
+                ):
+                    return True
+        return False

@@ -1,0 +1,141 @@
+"""``python -m repro.analysis [paths]`` — run the invariant linter.
+
+Exit status is 0 when no findings survive suppressions and the baseline,
+1 otherwise (and 2 for usage errors), so the command slots directly into
+CI.  ``--format json`` emits a machine-readable report;
+``--write-baseline`` snapshots the current findings into a baseline file
+that future runs subtract (the committed baseline for this repo is
+*empty* — fix findings, don't grandfather them).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.core import Analyzer, all_rules
+
+__all__ = ["main"]
+
+#: Default baseline location, relative to the current directory.
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def _load_baseline(path: Path) -> List[Tuple[str, str, str]]:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data["findings"] if isinstance(data, dict) else data
+    baseline = []
+    for entry in entries:
+        baseline.append(
+            (str(entry["rule"]), str(entry["path"]), str(entry["message"]))
+        )
+    return baseline
+
+
+def _write_baseline(path: Path, findings: Iterable) -> None:
+    entries = [
+        {"rule": f.rule, "path": Path(f.path).as_posix(), "message": f.message}
+        for f in findings
+    ]
+    path.write_text(
+        json.dumps({"findings": entries}, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Run the repro invariant linter over Python sources.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="only run rules matching this code/prefix (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULE",
+        help="skip rules matching this code/prefix (repeatable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=f"baseline file of grandfathered findings (default: "
+        f"{DEFAULT_BASELINE} if it exists)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="write the current findings to FILE as a new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule with its invariant and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.summary}")
+            print(f"        {rule.invariant}")
+        return 0
+
+    baseline: List[Tuple[str, str, str]] = []
+    baseline_path: Optional[Path] = None
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"baseline file not found: {baseline_path}", file=sys.stderr)
+            return 2
+    elif Path(DEFAULT_BASELINE).exists():
+        baseline_path = Path(DEFAULT_BASELINE)
+    if baseline_path is not None:
+        try:
+            baseline = _load_baseline(baseline_path)
+        except (ValueError, KeyError, TypeError) as exc:
+            print(f"malformed baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(f"no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    analyzer = Analyzer(select=args.select, ignore=args.ignore)
+    report = analyzer.check_paths(
+        [Path(p) for p in args.paths], baseline=baseline
+    )
+
+    if args.write_baseline is not None:
+        _write_baseline(Path(args.write_baseline), report.findings)
+        print(
+            f"wrote {len(report.findings)} findings to {args.write_baseline}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format_text())
+    return 0 if report.ok else 1

@@ -25,9 +25,20 @@ light.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
-__all__ = ["Backend", "BACKEND_REGISTRY", "get_backend", "register_backend"]
+if TYPE_CHECKING:  # spec.py imports this module; break the cycle
+    from repro.api.spec import ModelSpec
+
+__all__ = [
+    "Backend",
+    "BACKEND_REGISTRY",
+    "OnlineBackend",
+    "ParallelBackend",
+    "SerialBackend",
+    "get_backend",
+    "register_backend",
+]
 
 
 class Backend(abc.ABC):
@@ -38,7 +49,7 @@ class Backend(abc.ABC):
     #: Keys this backend accepts in ``ModelSpec.backend_options``.
     option_keys: frozenset = frozenset()
 
-    def validate(self, spec) -> None:
+    def validate(self, spec: "ModelSpec") -> None:
         """Raise ``ValueError`` for specs this backend cannot execute.
 
         The default check is "it lowers": constructing the target config
@@ -48,15 +59,15 @@ class Backend(abc.ABC):
         self.lower(spec)
 
     @abc.abstractmethod
-    def lower(self, spec) -> Any:
+    def lower(self, spec: "ModelSpec") -> Any:
         """Translate ``spec`` into this backend's native configuration."""
 
     @abc.abstractmethod
-    def build(self, spec, corpus: Optional[Any] = None) -> Any:
+    def build(self, spec: "ModelSpec", corpus: Optional[Any] = None) -> Any:
         """Construct the engine for ``spec`` (seeded from ``spec.seed``)."""
 
 
-def _require_scalar_alpha(spec, backend: str) -> None:
+def _require_scalar_alpha(spec: "ModelSpec", backend: str) -> None:
     if isinstance(spec.alpha, list):
         raise ValueError(
             f"the {backend!r} backend supports only a scalar (or default) "
@@ -64,7 +75,7 @@ def _require_scalar_alpha(spec, backend: str) -> None:
         )
 
 
-def _require_default_word_proposal(spec, backend: str) -> None:
+def _require_default_word_proposal(spec: "ModelSpec", backend: str) -> None:
     # TrainerConfig/OnlineTrainerConfig carry no word_proposal knob, so a
     # non-default setting would be silently dropped while the snapshot
     # metadata still records it — reject instead of lying about provenance.
@@ -81,7 +92,7 @@ class SerialBackend(Backend):
 
     name = "serial"
 
-    def lower(self, spec) -> Any:
+    def lower(self, spec: "ModelSpec") -> Any:
         if spec.algorithm == "warplda":
             from repro.core.warplda import WarpLDAConfig
 
@@ -109,7 +120,7 @@ class SerialBackend(Backend):
             kwargs["num_mh_steps"] = spec.num_mh_steps
         return kwargs
 
-    def build(self, spec, corpus: Optional[Any] = None) -> Any:
+    def build(self, spec: "ModelSpec", corpus: Optional[Any] = None) -> Any:
         if corpus is None:
             raise ValueError("the serial backend needs a corpus to build on")
         lowered = self.lower(spec)
@@ -129,7 +140,7 @@ class ParallelBackend(Backend):
     name = "parallel"
     option_keys = frozenset({"num_workers", "iterations_per_epoch", "backend"})
 
-    def validate(self, spec) -> None:
+    def validate(self, spec: "ModelSpec") -> None:
         _require_scalar_alpha(spec, self.name)
         _require_default_word_proposal(spec, self.name)
         options = spec.backend_options
@@ -144,7 +155,7 @@ class ParallelBackend(Backend):
             )
         super().validate(spec)
 
-    def lower(self, spec) -> Any:
+    def lower(self, spec: "ModelSpec") -> Any:
         from repro.training.parallel import TrainerConfig
 
         options = spec.backend_options
@@ -158,7 +169,7 @@ class ParallelBackend(Backend):
             kernel=spec.kernel,
         )
 
-    def build(self, spec, corpus: Optional[Any] = None) -> Any:
+    def build(self, spec: "ModelSpec", corpus: Optional[Any] = None) -> Any:
         if corpus is None:
             raise ValueError("the parallel backend needs a corpus to build on")
         from repro.training.parallel import ParallelTrainer
@@ -186,7 +197,7 @@ class OnlineBackend(Backend):
         {"window_docs", "sweeps_per_batch", "decay", "publish_every", "batch_docs"}
     )
 
-    def validate(self, spec) -> None:
+    def validate(self, spec: "ModelSpec") -> None:
         _require_scalar_alpha(spec, self.name)
         _require_default_word_proposal(spec, self.name)
         options = spec.backend_options
@@ -195,7 +206,7 @@ class OnlineBackend(Backend):
                 raise ValueError(f"{key} must be positive, got {options[key]}")
         super().validate(spec)
 
-    def lower(self, spec) -> Any:
+    def lower(self, spec: "ModelSpec") -> Any:
         from repro.streaming.online import OnlineTrainerConfig
 
         options = spec.backend_options
@@ -211,7 +222,7 @@ class OnlineBackend(Backend):
             num_mh_steps=spec.num_mh_steps,
         )
 
-    def build(self, spec, corpus: Optional[Any] = None) -> Any:
+    def build(self, spec: "ModelSpec", corpus: Optional[Any] = None) -> Any:
         from repro.streaming.online import OnlineTrainer
 
         return OnlineTrainer.from_config(self.lower(spec), seed=spec.seed)

@@ -44,7 +44,11 @@ import sys
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Sequence
+if TYPE_CHECKING:  # heavy imports stay inside the subcommands at runtime
+    from repro.corpus.corpus import Corpus
+    from repro.obs import Telemetry
+
 
 from repro.api.estimator import LDA, iter_token_batches
 from repro.api.spec import ALGORITHMS, BACKEND_NAMES, ModelSpec
@@ -80,7 +84,7 @@ def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def corpus_from_args(args: argparse.Namespace):
+def corpus_from_args(args: argparse.Namespace) -> "Corpus":
     """Load or generate the corpus selected by the parsed arguments."""
     from repro.corpus.datasets import load_preset
     from repro.corpus.synthetic import SyntheticCorpusSpec, generate_lda_corpus
@@ -241,7 +245,7 @@ def _print_run_report(model: LDA) -> None:
 
 
 @contextmanager
-def _serving_telemetry(path: Optional[Path]):
+def _serving_telemetry(path: Optional[Path]) -> Iterator[Optional["Telemetry"]]:
     """Scoped telemetry for the model-loading subcommands (serve / eval),
     whose models carry no spec telemetry; prints the report on exit."""
     if path is None:

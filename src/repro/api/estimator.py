@@ -32,11 +32,32 @@ spec actually reaches them.
 from __future__ import annotations
 
 from contextlib import nullcontext
+
+import numpy as np
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    ContextManager,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.api.backends import get_backend
 from repro.api.spec import SPEC_METADATA_KEY, ModelSpec
+
+if TYPE_CHECKING:  # heavy layers stay lazy at runtime (PR 5 guarantee)
+    from repro.corpus.corpus import Corpus
+    from repro.serving.infer import InferenceEngine
+    from repro.serving.server import TopicServer
+    from repro.serving.snapshot import ModelSnapshot
+    from repro.streaming.registry import ModelRegistry
+    from repro.streaming.stream import MiniBatch
 
 __all__ = ["LDA", "iter_token_batches"]
 
@@ -63,7 +84,9 @@ def _is_token_document(document: Any) -> bool:
     return len(document) > 0 and isinstance(document[0], str)
 
 
-def iter_token_batches(corpus, batch_docs: int):
+def iter_token_batches(
+    corpus: "Corpus", batch_docs: int
+) -> Iterator[List[List[str]]]:
     """Replay ``corpus`` as mini-batches of raw token documents.
 
     Word ids are decoded back to words through the corpus vocabulary — the
@@ -102,7 +125,7 @@ class LDA:
     (1, 10)
     """
 
-    def __init__(self, spec: Optional[ModelSpec] = None, **spec_kwargs: Any):
+    def __init__(self, spec: Optional[ModelSpec] = None, **spec_kwargs: Any) -> None:
         if spec is None:
             spec = ModelSpec(**spec_kwargs)
         elif spec_kwargs:
@@ -142,7 +165,7 @@ class LDA:
         """Documents per mini-batch when replaying a corpus (online backend)."""
         return int(self.spec.backend_options.get("batch_docs", 64))
 
-    def use_registry(self, registry) -> "LDA":
+    def use_registry(self, registry: "ModelRegistry") -> "LDA":
         """Publish online updates into ``registry`` (e.g. a persisted one).
 
         Must be called before the first :meth:`partial_fit`; by default the
@@ -179,7 +202,7 @@ class LDA:
             )
         return self._telemetry
 
-    def _activate(self):
+    def _activate(self) -> ContextManager[Any]:
         """Scoped telemetry activation for training calls (no-op context
         when the spec names no telemetry path)."""
         session = self.telemetry
@@ -205,7 +228,7 @@ class LDA:
     # ------------------------------------------------------------------ #
     def fit(
         self,
-        corpus,
+        corpus: "Corpus",
         num_iterations: int = 50,
         tracker: Optional[Any] = None,
     ) -> "LDA":
@@ -238,7 +261,7 @@ class LDA:
         self._mark_trained()
         return self
 
-    def partial_fit(self, batch) -> Any:
+    def partial_fit(self, batch: Union["MiniBatch", Sequence[Any]]) -> Any:
         """Fold one mini-batch into the (online) model; returns the report.
 
         ``batch`` is a :class:`~repro.streaming.stream.MiniBatch` or a
@@ -284,7 +307,7 @@ class LDA:
     # ------------------------------------------------------------------ #
     # Model access
     # ------------------------------------------------------------------ #
-    def export_snapshot(self):
+    def export_snapshot(self) -> "ModelSnapshot":
         """The current model as a :class:`~repro.serving.snapshot.ModelSnapshot`.
 
         The snapshot's metadata carries the spec dict under
@@ -324,7 +347,7 @@ class LDA:
         strategy: Optional[str] = None,
         num_iterations: Optional[int] = None,
         seed: Optional[int] = None,
-    ):
+    ) -> "InferenceEngine":
         from repro.serving.infer import InferenceEngine
 
         if strategy is None and num_iterations is None and seed is None:
@@ -346,7 +369,7 @@ class LDA:
         strategy: Optional[str] = None,
         num_iterations: Optional[int] = None,
         seed: Optional[int] = None,
-    ):
+    ) -> np.ndarray:
         """θ inference for unseen documents (one row per document).
 
         Documents are raw token lists (OOV tokens dropped by the snapshot
@@ -410,7 +433,9 @@ class LDA:
         return cls.from_snapshot(ModelSnapshot.load(path))
 
     @classmethod
-    def from_snapshot(cls, snapshot, spec: Optional[ModelSpec] = None) -> "LDA":
+    def from_snapshot(
+        cls, snapshot: "ModelSnapshot", spec: Optional[ModelSpec] = None
+    ) -> "LDA":
         """Wrap an existing snapshot; ``spec`` overrides the embedded one."""
         if spec is None:
             spec_dict = snapshot.metadata.get(SPEC_METADATA_KEY)
@@ -435,7 +460,7 @@ class LDA:
         seed: Optional[int] = None,
         follow_registry: bool = True,
         **server_kwargs: Any,
-    ):
+    ) -> "TopicServer":
         """Stand up a :class:`~repro.serving.server.TopicServer` on this model.
 
         On the online backend (with ``follow_registry=True``) the server
@@ -503,7 +528,7 @@ class LDA:
     def __enter__(self) -> "LDA":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -15,7 +15,7 @@ Two complementary views are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -23,7 +23,7 @@ from repro.cache.hierarchy import IVY_BRIDGE_HIERARCHY, MemoryHierarchyConfig
 from repro.cache.simulator import HierarchySimulator
 from repro.cache.tracing import ALGORITHM_TRACERS, AccessTraceGenerator
 from repro.corpus.corpus import Corpus
-from repro.sampling.rng import RngLike, ensure_rng
+from repro.sampling.rng import RngLike, ensure_rng, seed_from_deprecated_rng
 
 __all__ = [
     "AccessPatternSummary",
@@ -35,19 +35,27 @@ __all__ = [
 
 _ENTRY_BYTES = 8
 
+#: Sentinel default for ``l3_miss_rate_experiment``'s ``seed`` so the
+#: deprecated ``rng=`` alias can still be detected (the effective default
+#: seed is 0).
+_DEFAULT_SEED: Any = object()
+
 
 def estimate_topic_sparsity(
     corpus: Corpus, num_topics: int, assignments: Optional[np.ndarray] = None,
-    rng: RngLike = None,
+    seed: RngLike = None, rng: RngLike = None,
 ) -> Tuple[float, float]:
     """Return ``(mean K_d, mean K_w)`` — distinct topics per document / word.
 
-    If no assignments are supplied, random assignments are used, which gives
-    the early-iteration (densest) regime.
+    If no assignments are supplied, random assignments drawn from ``seed``
+    are used, which gives the early-iteration (densest) regime.  ``rng=`` is
+    a deprecated alias for ``seed=``.
     """
-    rng = ensure_rng(rng)
+    seed = seed_from_deprecated_rng(seed, rng, "estimate_topic_sparsity")
     if assignments is None:
-        assignments = rng.integers(num_topics, size=corpus.num_tokens)
+        assignments = ensure_rng(seed).integers(
+            num_topics, size=corpus.num_tokens
+        )
     assignments = np.asarray(assignments, dtype=np.int64)
     doc_sparsity = np.array(
         [
@@ -97,15 +105,17 @@ def access_pattern_table(
     num_topics: int,
     assignments: Optional[np.ndarray] = None,
     num_mh_steps: int = 1,
+    seed: RngLike = None,
     rng: RngLike = None,
 ) -> List[AccessPatternSummary]:
     """Reproduce Table 2 with concrete numbers for ``corpus`` and ``num_topics``.
 
     The symbolic columns are the paper's; the numeric columns instantiate them
     with the measured mean ``K_d`` / ``K_w`` and the matrix sizes of the given
-    problem.
+    problem.  ``rng=`` is a deprecated alias for ``seed=``.
     """
-    mean_kd, mean_kw = estimate_topic_sparsity(corpus, num_topics, assignments, rng)
+    seed = seed_from_deprecated_rng(seed, rng, "access_pattern_table")
+    mean_kd, mean_kw = estimate_topic_sparsity(corpus, num_topics, assignments, seed)
     sizes = working_set_bytes(corpus, num_topics)
     kv_bytes = sizes["word_topic_matrix"]
     dk_bytes = sizes["doc_topic_matrix"]
@@ -190,7 +200,8 @@ def l3_miss_rate_experiment(
     num_mh_steps: int = 1,
     assignments: Optional[np.ndarray] = None,
     max_tokens: Optional[int] = 20_000,
-    rng: RngLike = 0,
+    seed: RngLike = _DEFAULT_SEED,
+    rng: RngLike = None,
 ) -> Dict[str, Dict[str, float]]:
     """Reproduce the Table 4 comparison on ``corpus``.
 
@@ -212,8 +223,10 @@ def l3_miss_rate_experiment(
         ``M`` for the MH algorithms (the paper's Table 4 uses M=1).
     max_tokens:
         Cap on the tokens visited per trace, for tractability.
-    rng:
-        Seed controlling the synthetic topic assignments and probe draws.
+    seed:
+        Seed controlling the synthetic topic assignments and probe draws
+        (default 0, so the experiment is repeatable out of the box).
+        ``rng=`` is a deprecated alias.
 
     Returns
     -------
@@ -221,7 +234,12 @@ def l3_miss_rate_experiment(
         ``{algorithm: {"l3_miss_rate", "memory_accesses", "avg_latency_cycles",
         "trace_length"}}``.
     """
-    rng = ensure_rng(rng)
+    # The sentinel keeps "defaulted" distinguishable from an explicit
+    # seed while the deprecated rng= alias is folded in.
+    if seed is _DEFAULT_SEED:
+        seed = None if rng is not None else 0
+    seed = seed_from_deprecated_rng(seed, rng, "l3_miss_rate_experiment")
+    draw_rng = ensure_rng(seed)
     if hierarchy is None:
         hierarchy = IVY_BRIDGE_HIERARCHY
         if cache_scale is None:
@@ -238,7 +256,7 @@ def l3_miss_rate_experiment(
         num_topics,
         assignments=assignments,
         num_mh_steps=num_mh_steps,
-        rng=rng,
+        rng=draw_rng,
         max_tokens=max_tokens,
     )
 

@@ -25,6 +25,7 @@ from repro.sampling.rng import RngLike, ensure_rng
 
 __all__ = [
     "contiguous_shards",
+    "imbalance_by_strategy",
     "imbalance_index",
     "partition_words_static",
     "partition_words_dynamic",

@@ -195,6 +195,8 @@ def document_phase(
     Symmetric to :func:`word_phase` with the document prior α in place of β;
     ``alpha_alias`` supplies the prior component of the mixture draw when α is
     asymmetric (``None`` means symmetric α, i.e. a uniform prior draw).
+    Like :func:`word_phase`, mutates ``assignments`` and ``proposals`` in
+    place (accepted moves and freshly drawn doc-phase proposals).
     """
     max_rows = _chunk_rows(num_topics)
     for bucket in buckets:

@@ -304,7 +304,7 @@ class InferenceEngine:
         num_iterations: int = 30,
         num_mh_steps: int = 2,
         seed: RngLike = None,
-    ):
+    ) -> None:
         if strategy not in self.STRATEGIES:
             raise ValueError(
                 f"strategy must be one of {self.STRATEGIES}, got {strategy!r}"

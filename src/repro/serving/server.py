@@ -30,14 +30,28 @@ from __future__ import annotations
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from repro.obs import Histogram, get_telemetry
+from repro.sampling.rng import RngLike
 from repro.serving.infer import InferenceEngine
 
-__all__ = ["LRUCache", "ServerStats", "TopicServer"]
+if TYPE_CHECKING:  # avoids the serving <-> streaming import cycle at runtime
+    from repro.streaming.registry import ModelRegistry
+
+__all__ = ["LRUCache", "ServerStats", "TopicServer", "bow_key"]
 
 #: Cache key type: the sorted ``(word_id, count)`` pairs of a document.
 BowKey = Tuple[Tuple[int, int], ...]
@@ -66,7 +80,7 @@ def bow_key(word_ids: np.ndarray) -> BowKey:
 class LRUCache:
     """A fixed-capacity least-recently-used map from bag-of-words keys to θ."""
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         if capacity < 0:
             raise ValueError(f"capacity must be non-negative, got {capacity}")
         self.capacity = int(capacity)
@@ -254,7 +268,7 @@ class TopicServer:
         engine: InferenceEngine,
         max_batch_size: int = 64,
         cache_capacity: int = 4096,
-    ):
+    ) -> None:
         if max_batch_size <= 0:
             raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
         self.engine = engine
@@ -262,7 +276,7 @@ class TopicServer:
         self.cache = LRUCache(cache_capacity)
         self.stats_ = ServerStats()
         self._queue: List[np.ndarray] = []
-        self._registry = None
+        self._registry: Optional[ModelRegistry] = None
         #: Registry version currently served (``None`` = the engine the
         #: server was constructed with, or no registry attached).
         self.served_version: Optional[int] = None
@@ -273,12 +287,12 @@ class TopicServer:
     @classmethod
     def from_registry(
         cls,
-        registry,
+        registry: "ModelRegistry",
         strategy: str = "em",
         num_iterations: int = 30,
         num_mh_steps: int = 2,
-        seed=None,
-        **server_kwargs,
+        seed: RngLike = None,
+        **server_kwargs: Any,
     ) -> "TopicServer":
         """Build a server over a registry's current version and follow it.
 
@@ -303,7 +317,7 @@ class TopicServer:
         server.attach_registry(registry)
         return server
 
-    def attach_registry(self, registry) -> None:
+    def attach_registry(self, registry: "ModelRegistry") -> None:
         """Follow ``registry``: serve its current version, swap as it moves.
 
         The swap happens *between micro-batches* (checked at the start of

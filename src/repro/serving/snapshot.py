@@ -67,7 +67,7 @@ class ModelSnapshot:
         beta: float,
         vocabulary: Vocabulary,
         metadata: Optional[Dict[str, Any]] = None,
-    ):
+    ) -> None:
         phi = np.array(phi, dtype=np.float64, copy=True)
         if phi.ndim != 2:
             raise ValueError(f"phi must be a K x V matrix, got shape {phi.shape}")
@@ -151,7 +151,7 @@ class ModelSnapshot:
     # Construction from trained models
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_model(cls, model, extra_metadata: Optional[Dict[str, Any]] = None) -> "ModelSnapshot":
+    def from_model(cls, model: Any, extra_metadata: Optional[Dict[str, Any]] = None) -> "ModelSnapshot":
         """Freeze any trained sampler exposing ``phi()`` / ``alpha`` / ``beta``.
 
         Works for every :class:`~repro.samplers.base.LDASampler` subclass and

@@ -87,7 +87,7 @@ class StreamingCorpus(Corpus):
     immutability is needed there.
     """
 
-    def __init__(self, vocabulary: Optional[Vocabulary] = None):
+    def __init__(self, vocabulary: Optional[Vocabulary] = None) -> None:
         self._vocabulary = vocabulary if vocabulary is not None else Vocabulary()
         self._documents: List[Document] = []
         self._token_store = np.empty(_INITIAL_CAPACITY, dtype=np.int64)

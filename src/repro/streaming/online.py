@@ -34,7 +34,10 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence, Union
+if TYPE_CHECKING:  # serving imports stay lazy at runtime (PR 5 guarantee)
+    from repro.serving.snapshot import ModelSnapshot
+
 
 import numpy as np
 
@@ -175,7 +178,7 @@ class OnlineTrainer:
         corpus: Optional[StreamingCorpus] = None,
         seed: RngLike = None,
         **config_kwargs: Any,
-    ):
+    ) -> None:
         if config is None:
             config = OnlineTrainerConfig(**config_kwargs)
         else:
@@ -429,7 +432,9 @@ class OnlineTrainer:
         counts = self.word_topic_counts(vocab_size).T + self.beta
         return counts / counts.sum(axis=1, keepdims=True)
 
-    def export_snapshot(self, extra_metadata: Optional[Dict[str, Any]] = None):
+    def export_snapshot(
+        self, extra_metadata: Optional[Dict[str, Any]] = None
+    ) -> "ModelSnapshot":
         """Freeze the current online model into a serving snapshot.
 
         Safe to call while the ingestion layer keeps growing the shared

@@ -94,7 +94,7 @@ class StreamingPipeline:
         server: Optional[TopicServer] = None,
         publish_every: int = 1,
         report_history: int = 256,
-    ):
+    ) -> None:
         if publish_every <= 0:
             raise ValueError(f"publish_every must be positive, got {publish_every}")
         if report_history < 0:

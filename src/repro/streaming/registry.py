@@ -84,7 +84,7 @@ class ModelRegistry:
         self,
         retain: int = _DEFAULT_RETAIN,
         directory: Optional[Union[str, Path]] = None,
-    ):
+    ) -> None:
         if retain < 1:
             raise ValueError(f"retain must be at least 1, got {retain}")
         self.retain = int(retain)

@@ -117,7 +117,7 @@ class DocumentStream:
         vocabulary: Vocabulary,
         batch_docs: int = 64,
         on_oov: str = "add",
-    ):
+    ) -> None:
         if batch_docs <= 0:
             raise ValueError(f"batch_docs must be positive, got {batch_docs}")
         if on_oov not in ("add", "drop", "error"):

@@ -33,7 +33,7 @@ from repro.corpus.corpus import Corpus
 from repro.serving.snapshot import ModelSnapshot
 from repro.training.parallel import ParallelTrainer, TrainerConfig
 
-__all__ = ["Checkpoint"]
+__all__ = ["Checkpoint", "corpus_fingerprint"]
 
 #: On-disk checkpoint format version.
 CHECKPOINT_FORMAT_VERSION = 1
@@ -71,7 +71,7 @@ class Checkpoint:
         worker_states: List[Dict[str, Any]],
         epochs_completed: int,
         fingerprint: Dict[str, int],
-    ):
+    ) -> None:
         if num_workers != len(worker_states):
             raise ValueError(
                 f"{num_workers} workers but {len(worker_states)} worker states"

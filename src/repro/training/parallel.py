@@ -33,7 +33,9 @@ import time
 import traceback
 import warnings
 from dataclasses import asdict, dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from types import TracebackType
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -51,6 +53,11 @@ from repro.samplers.base import (
 from repro.samplers.lightlda import LightLDASampler
 from repro.samplers.registry import SAMPLER_REGISTRY
 from repro.sampling.rng import RngLike, spawn_rngs
+
+if TYPE_CHECKING:  # serving imports stay lazy at runtime (PR 5 guarantee)
+    from multiprocessing.connection import Connection
+
+    from repro.serving.snapshot import ModelSnapshot
 
 __all__ = ["ParallelTrainer", "TrainerConfig", "ShardRunner", "SAMPLER_REGISTRY"]
 
@@ -148,7 +155,7 @@ class ShardRunner:
         config: TrainerConfig,
         rng: np.random.Generator,
         index: int = 0,
-    ):
+    ) -> None:
         self.config = config
         self.index = int(index)
         sampler_cls = SAMPLER_REGISTRY[config.sampler]
@@ -258,7 +265,13 @@ class ShardRunner:
         return np.asarray(self.sampler.assignments).copy()
 
 
-def _worker_main(conn, shard: Corpus, config: TrainerConfig, rng, index: int = 0) -> None:
+def _worker_main(
+    conn: Connection,
+    shard: Corpus,
+    config: TrainerConfig,
+    rng: np.random.Generator,
+    index: int = 0,
+) -> None:
     """Entry point of a worker process: serve the shard protocol over a pipe."""
     try:
         runner = ShardRunner(shard, config, rng, index=index)
@@ -298,7 +311,12 @@ class _ProcessWorker:
     """A shard runner living in its own OS process, spoken to over a pipe."""
 
     def __init__(
-        self, context, shard: Corpus, config: TrainerConfig, rng, index: int = 0
+        self,
+        context: multiprocessing.context.BaseContext,
+        shard: Corpus,
+        config: TrainerConfig,
+        rng: np.random.Generator,
+        index: int = 0,
     ) -> None:
         self._conn, child_conn = context.Pipe(duplex=True)
         self._process = context.Process(
@@ -340,7 +358,7 @@ class _InlineWorker:
     """The same protocol executed synchronously in the master process."""
 
     def __init__(
-        self, shard: Corpus, config: TrainerConfig, rng, index: int = 0
+        self, shard: Corpus, config: TrainerConfig, rng: np.random.Generator, index: int = 0
     ) -> None:
         self._runner = ShardRunner(shard, config, rng, index=index)
         self._pending: Any = self._runner.local_word_topic()
@@ -414,7 +432,7 @@ class ParallelTrainer:
         seed: RngLike = None,
         backend: str = "process",
         **config_kwargs: Any,
-    ):
+    ) -> None:
         if config is None:
             config = TrainerConfig(**config_kwargs)
         else:
@@ -690,7 +708,9 @@ class ParallelTrainer:
             self.beta,
         )
 
-    def export_snapshot(self, extra_metadata: Optional[Dict[str, Any]] = None):
+    def export_snapshot(
+        self, extra_metadata: Optional[Dict[str, Any]] = None
+    ) -> "ModelSnapshot":
         """Freeze the merged model into a serving snapshot."""
         from repro.serving.snapshot import ModelSnapshot
 
@@ -716,7 +736,7 @@ class ParallelTrainer:
     # ------------------------------------------------------------------ #
     # Checkpointing
     # ------------------------------------------------------------------ #
-    def save_checkpoint(self, directory) -> Any:
+    def save_checkpoint(self, directory: Union[str, Path]) -> Path:
         """Write a resumable checkpoint; returns the directory written."""
         from repro.training.checkpoint import Checkpoint
 
@@ -725,7 +745,7 @@ class ParallelTrainer:
     @classmethod
     def resume(
         cls,
-        directory,
+        directory: Union[str, Path],
         corpus: Corpus,
         backend: str = "process",
     ) -> "ParallelTrainer":
@@ -757,7 +777,12 @@ class ParallelTrainer:
     def __enter__(self) -> "ParallelTrainer":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,688 @@
+"""Tests for the invariant linter (:mod:`repro.analysis`).
+
+Every rule family gets a true-positive fixture (the rule fires on a
+violation) and a clean-pass fixture (the idiomatic form is silent), plus
+suppression semantics and a self-check that the shipped tree is clean.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer, all_rules, registered_checkers
+from repro.analysis.cli import main as analysis_main
+from repro.analysis.core import Finding, attribute_chain, call_chain, module_name_for
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_linter(source, module="fixture", **analyzer_kwargs):
+    """Lint a dedented fixture snippet; returns the list of findings."""
+    analyzer = Analyzer(**analyzer_kwargs)
+    return analyzer.check_source(
+        textwrap.dedent(source), path="fixture.py", module=module
+    )
+
+
+def codes(findings):
+    return sorted(finding.rule for finding in findings)
+
+
+# --------------------------------------------------------------------- #
+# Framework plumbing
+# --------------------------------------------------------------------- #
+class TestFramework:
+    def test_all_rule_codes_unique(self):
+        rule_codes = [rule.code for rule in all_rules()]
+        assert len(rule_codes) == len(set(rule_codes))
+
+    def test_every_family_registered(self):
+        names = {cls.name for cls in registered_checkers()}
+        assert {"rng", "telemetry", "kernels", "locks", "procs", "api"} <= names
+
+    def test_finding_format(self):
+        finding = Finding("src/x.py", 12, "RNG001", "boom")
+        assert finding.format() == "src/x.py:12: RNG001 boom"
+
+    def test_attribute_chain(self):
+        import ast
+
+        node = ast.parse("np.random.default_rng", mode="eval").body
+        assert attribute_chain(node) == "np.random.default_rng"
+        call = ast.parse("obs.registry.counter('x').value", mode="eval").body
+        assert attribute_chain(call) is None
+        assert call_chain(call) == ("obs", "registry", "counter", "value")
+
+    def test_module_name_for(self):
+        path = REPO_ROOT / "src" / "repro" / "kernels" / "warp.py"
+        assert module_name_for(path) == "repro.kernels.warp"
+        init = REPO_ROOT / "src" / "repro" / "analysis" / "__init__.py"
+        assert module_name_for(init) == "repro.analysis"
+
+
+# --------------------------------------------------------------------- #
+# RNG discipline
+# --------------------------------------------------------------------- #
+class TestRngRules:
+    def test_rng001_global_numpy_draw_fires(self):
+        findings = run_linter(
+            """
+            import numpy as np
+
+            def sample():
+                return np.random.rand(3)
+            """
+        )
+        assert codes(findings) == ["RNG001"]
+
+    def test_rng001_clean_explicit_generator(self):
+        findings = run_linter(
+            """
+            import numpy as np
+
+            def sample(seed):
+                rng = np.random.default_rng(seed)
+                return rng.random(3)
+            """
+        )
+        assert findings == []
+
+    def test_rng002_stdlib_random_fires(self):
+        findings = run_linter(
+            """
+            import random
+
+            def shuffle_docs(docs):
+                random.shuffle(docs)
+            """
+        )
+        assert codes(findings) == ["RNG002"]
+
+    def test_rng002_from_import_alias_fires(self):
+        findings = run_linter(
+            """
+            from random import randint
+
+            def pick():
+                return randint(0, 10)
+            """
+        )
+        assert codes(findings) == ["RNG002"]
+
+    def test_rng002_clean_owned_random_instance(self):
+        findings = run_linter(
+            """
+            import random
+
+            def make_stream(seed):
+                return random.Random(seed)
+            """
+        )
+        assert findings == []
+
+    def test_rng003_seedless_default_rng_fires(self):
+        findings = run_linter(
+            """
+            import numpy as np
+
+            def fresh():
+                return np.random.default_rng()
+            """
+        )
+        assert codes(findings) == ["RNG003"]
+
+    def test_rng003_explicit_none_seed_fires(self):
+        findings = run_linter(
+            """
+            from numpy.random import default_rng
+
+            def fresh():
+                return default_rng(None)
+            """
+        )
+        assert codes(findings) == ["RNG003"]
+
+    def test_rng003_clean_seeded(self):
+        findings = run_linter(
+            """
+            import numpy as np
+
+            def fresh(seed):
+                return np.random.default_rng(seed)
+            """
+        )
+        assert findings == []
+
+    def test_rng004_unused_seed_param_fires(self):
+        findings = run_linter(
+            """
+            def estimate(corpus, seed=0):
+                return len(corpus)
+            """
+        )
+        assert codes(findings) == ["RNG004"]
+
+    def test_rng004_clean_used_and_stub_bodies_exempt(self):
+        findings = run_linter(
+            """
+            import abc
+
+            def estimate(corpus, seed=0):
+                return len(corpus) + seed
+
+            class Base(abc.ABC):
+                @abc.abstractmethod
+                def draw(self, rng):
+                    ...
+
+            def todo(rng):
+                raise NotImplementedError
+            """
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# Telemetry purity
+# --------------------------------------------------------------------- #
+class TestTelemetryRules:
+    def test_obs001_ungated_recording_fires(self):
+        findings = run_linter(
+            """
+            from repro.obs import get_telemetry
+
+            def hot_loop(tokens):
+                obs = get_telemetry()
+                for token in tokens:
+                    obs.count("sampler.tokens", 1)
+            """
+        )
+        assert codes(findings) == ["OBS001"]
+
+    def test_obs001_clean_enabled_guard(self):
+        findings = run_linter(
+            """
+            from repro.obs import get_telemetry
+
+            def hot_loop(tokens):
+                obs = get_telemetry()
+                if obs.enabled:
+                    obs.count("sampler.tokens", len(tokens))
+                with obs.span("sweep"):
+                    pass
+            """
+        )
+        assert findings == []
+
+    def test_obs001_exempt_inside_repro_obs(self):
+        findings = run_linter(
+            """
+            def self_test():
+                obs = get_telemetry()
+                obs.count("x", 1)
+            """,
+            module="repro.obs.trace",
+        )
+        assert findings == []
+
+    def test_obs002_metric_readback_fires(self):
+        findings = run_linter(
+            """
+            from repro.obs import get_telemetry
+
+            def adapt(step):
+                obs = get_telemetry()
+                return step * obs.registry.counter("sampler.tokens").value
+            """
+        )
+        assert "OBS002" in codes(findings)
+
+    def test_obs002_clean_registry_as_plain_data(self):
+        findings = run_linter(
+            """
+            def export(registry):
+                return {name: metric.value for name, metric in registry.items()}
+            """
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# Kernel purity
+# --------------------------------------------------------------------- #
+class TestKernelRules:
+    def test_ker001_module_state_write_fires(self):
+        findings = run_linter(
+            """
+            _CACHE = {}
+
+            def kernel(key, value):
+                _CACHE[key] = value
+            """,
+            module="repro.kernels.fake",
+        )
+        assert codes(findings) == ["KER001"]
+
+    def test_ker001_global_statement_fires(self):
+        findings = run_linter(
+            """
+            _CALLS = 0
+
+            def kernel(x):
+                global _CALLS
+                _CALLS += 1
+                return x
+            """,
+            module="repro.kernels.fake",
+        )
+        assert "KER001" in codes(findings)
+
+    def test_ker001_inactive_outside_kernel_tier(self):
+        findings = run_linter(
+            """
+            _CACHE = {}
+
+            def helper(key, value):
+                _CACHE[key] = value
+            """,
+            module="repro.cache.fake",
+        )
+        assert findings == []
+
+    def test_ker002_undocumented_inplace_param_fires(self):
+        findings = run_linter(
+            """
+            def scale(counts, factor):
+                \"\"\"Scale topic counts.\"\"\"
+                counts[:] = counts * factor
+            """,
+            module="repro.kernels.fake",
+        )
+        assert codes(findings) == ["KER002"]
+
+    def test_ker002_clean_documented_mutation(self):
+        findings = run_linter(
+            """
+            def scale(counts, factor):
+                \"\"\"Scale ``counts`` in place by ``factor``.\"\"\"
+                counts[:] = counts * factor
+            """,
+            module="repro.kernels.fake",
+        )
+        assert findings == []
+
+    def test_ker002_rebound_param_is_a_local_copy(self):
+        findings = run_linter(
+            """
+            def normalise(rows):
+                \"\"\"Return a normalised copy of ``rows``.\"\"\"
+                rows = rows.astype("float64")
+                rows[:, 0] = 0.0
+                return rows
+            """,
+            module="repro.kernels.fake",
+        )
+        assert findings == []
+
+    def test_ker002_out_kwarg_counts_as_mutation(self):
+        findings = run_linter(
+            """
+            import numpy as np
+
+            def relu(values, scratch):
+                \"\"\"Rectify values.\"\"\"
+                np.maximum(values, 0, out=scratch)
+                return scratch
+            """,
+            module="repro.kernels.fake",
+        )
+        assert codes(findings) == ["KER002"]
+
+
+# --------------------------------------------------------------------- #
+# Lock discipline
+# --------------------------------------------------------------------- #
+class TestLockRules:
+    def test_lock001_unguarded_write_fires(self):
+        findings = run_linter(
+            """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._versions = []
+
+                def publish(self, version):
+                    self._versions.append(version)
+            """
+        )
+        assert codes(findings) == ["LOCK001"]
+
+    def test_lock001_clean_under_lock(self):
+        findings = run_linter(
+            """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._versions = []
+
+                def publish(self, version):
+                    with self._lock:
+                        self._versions.append(version)
+                        self._latest = version
+            """
+        )
+        assert findings == []
+
+    def test_lock001_locked_suffix_and_init_exempt(self):
+        findings = run_linter(
+            """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.RLock()
+                    self._versions = []
+
+                def _gc_locked(self):
+                    self._versions = self._versions[-3:]
+            """
+        )
+        assert findings == []
+
+    def test_lock001_inactive_without_a_lock(self):
+        findings = run_linter(
+            """
+            class Plain:
+                def set(self, value):
+                    self._value = value
+            """
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# Multiprocessing pickling safety
+# --------------------------------------------------------------------- #
+class TestProcessRules:
+    def test_mp001_lambda_target_fires(self):
+        findings = run_linter(
+            """
+            import multiprocessing
+
+            def launch():
+                return multiprocessing.Process(target=lambda: None)
+            """
+        )
+        assert codes(findings) == ["MP001"]
+
+    def test_mp001_local_def_submitted_fires(self):
+        findings = run_linter(
+            """
+            def launch(pool, shards):
+                def work(shard):
+                    return shard.sum()
+                return pool.map(work, shards)
+            """
+        )
+        assert codes(findings) == ["MP001"]
+
+    def test_mp001_clean_module_level_worker(self):
+        findings = run_linter(
+            """
+            import multiprocessing
+
+            def _worker_main(conn):
+                conn.send("ready")
+
+            def launch(conn):
+                return multiprocessing.Process(target=_worker_main, args=(conn,))
+            """
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# API hygiene
+# --------------------------------------------------------------------- #
+class TestApiRules:
+    def test_api001_dangling_all_name_fires(self):
+        findings = run_linter(
+            """
+            __all__ = ["missing_thing"]
+            """
+        )
+        assert codes(findings) == ["API001"]
+
+    def test_api001_unlisted_public_def_fires(self):
+        findings = run_linter(
+            """
+            __all__ = ["listed"]
+
+            def listed():
+                return 1
+
+            def forgotten():
+                return 2
+            """
+        )
+        assert codes(findings) == ["API001"]
+        assert "forgotten" in findings[0].message
+
+    def test_api001_clean_consistent_all(self):
+        findings = run_linter(
+            """
+            __all__ = ["Thing", "make_thing"]
+
+            class Thing:
+                pass
+
+            def make_thing():
+                return Thing()
+
+            def _private_helper():
+                return None
+            """
+        )
+        assert findings == []
+
+    def test_api001_skipped_without_all(self):
+        findings = run_linter(
+            """
+            def anything_goes():
+                return 1
+            """
+        )
+        assert findings == []
+
+    def test_api002_eager_heavy_import_fires(self):
+        findings = run_linter(
+            """
+            import multiprocessing
+            from repro import serving
+            """,
+            module="repro",
+        )
+        assert codes(findings) == ["API002", "API002"]
+
+    def test_api002_lazy_getattr_clean(self):
+        findings = run_linter(
+            """
+            def __getattr__(name):
+                if name == "serving":
+                    import repro.serving
+                    return repro.serving
+                raise AttributeError(name)
+            """,
+            module="repro",
+        )
+        assert findings == []
+
+    def test_api002_only_guards_lazy_modules(self):
+        findings = run_linter(
+            """
+            import multiprocessing
+            """,
+            module="repro.training.parallel",
+        )
+        assert findings == []
+
+    def test_api003_deprecation_without_category_fires(self):
+        findings = run_linter(
+            """
+            import warnings
+
+            def old():
+                warnings.warn("old() is deprecated; use new()")
+            """
+        )
+        assert codes(findings) == ["API003"]
+
+    def test_api003_clean_with_deprecation_warning(self):
+        findings = run_linter(
+            """
+            import warnings
+
+            def old():
+                warnings.warn(
+                    "old() is deprecated; use new()",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            """
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# Suppressions
+# --------------------------------------------------------------------- #
+class TestSuppressions:
+    def test_noqa_suppresses_the_named_rule(self):
+        findings = run_linter(
+            """
+            import numpy as np
+
+            def sample():
+                return np.random.rand(3)  # repro: noqa[RNG001] -- fixture
+            """
+        )
+        assert findings == []
+
+    def test_noqa_for_a_different_rule_does_not_suppress(self):
+        findings = run_linter(
+            """
+            import numpy as np
+
+            def sample():
+                return np.random.rand(3)  # repro: noqa[OBS001]
+            """
+        )
+        assert codes(findings) == ["RNG001", "SUP001"]
+
+    def test_unused_noqa_is_flagged(self):
+        findings = run_linter(
+            """
+            x = 1  # repro: noqa[RNG001]
+            """
+        )
+        assert codes(findings) == ["SUP001"]
+
+    def test_noqa_inside_docstring_is_not_a_suppression(self):
+        findings = run_linter(
+            '''
+            def documented():
+                """Use ``# repro: noqa[RNG001]`` to silence a finding."""
+                return 1
+            '''
+        )
+        assert findings == []
+
+    def test_unused_noqa_not_flagged_under_select(self):
+        findings = run_linter(
+            """
+            x = 1  # repro: noqa[RNG001]
+            """,
+            select=["OBS"],
+        )
+        assert findings == []
+
+    def test_select_and_ignore_filter_by_prefix(self):
+        source = """
+            import numpy as np
+            import random
+
+            def sample():
+                random.shuffle([1, 2])
+                return np.random.rand(3)
+        """
+        assert codes(run_linter(source, select=["RNG001"])) == ["RNG001"]
+        assert codes(run_linter(source, ignore=["RNG002"])) == ["RNG001"]
+        assert codes(run_linter(source)) == ["RNG001", "RNG002"]
+
+
+# --------------------------------------------------------------------- #
+# CLI and repo self-check
+# --------------------------------------------------------------------- #
+class TestCli:
+    def test_findings_exit_1_and_json_report(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import numpy as np\n\n\ndef f():\n    return np.random.rand()\n",
+            encoding="utf-8",
+        )
+        status = analysis_main([str(bad), "--format", "json"])
+        assert status == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["files_checked"] == 1
+        assert [f["rule"] for f in report["findings"]] == ["RNG001"]
+
+    def test_baseline_roundtrip(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import numpy as np\n\n\ndef f():\n    return np.random.rand()\n",
+            encoding="utf-8",
+        )
+        baseline = tmp_path / "baseline.json"
+        assert analysis_main([str(bad), "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert analysis_main([str(bad), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "(0 suppressed, 1 baselined)" in out
+
+    def test_missing_path_is_a_usage_error(self, tmp_path, capsys):
+        assert analysis_main([str(tmp_path / "nope.py")]) == 2
+
+    def test_list_rules_covers_every_family(self, capsys):
+        assert analysis_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RNG001", "OBS001", "KER001", "LOCK001", "MP001", "API001", "SUP001"):
+            assert code in out
+
+    def test_shipped_baseline_is_empty(self):
+        baseline = json.loads(
+            (REPO_ROOT / "analysis-baseline.json").read_text(encoding="utf-8")
+        )
+        assert baseline == {"findings": []}
+
+    def test_repo_source_tree_is_clean(self):
+        """Acceptance gate: `python -m repro.analysis src/` exits 0."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "src"],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 suppressed" in result.stdout

@@ -9,7 +9,7 @@ from repro.cache.analysis import working_set_bytes
 
 class TestTopicSparsity:
     def test_bounds(self, small_corpus):
-        mean_kd, mean_kw = estimate_topic_sparsity(small_corpus, num_topics=6, rng=0)
+        mean_kd, mean_kw = estimate_topic_sparsity(small_corpus, num_topics=6, seed=0)
         assert 1.0 <= mean_kd <= 6.0
         assert 1.0 <= mean_kw <= 6.0
 
@@ -30,19 +30,19 @@ class TestWorkingSet:
 
 class TestTable2:
     def test_rows_cover_all_algorithms(self, small_corpus):
-        rows = access_pattern_table(small_corpus, num_topics=6, rng=0)
+        rows = access_pattern_table(small_corpus, num_topics=6, seed=0)
         names = [row.algorithm for row in rows]
         assert names == ["CGS", "SparseLDA", "AliasLDA", "F+LDA", "LightLDA", "WarpLDA"]
 
     def test_warplda_random_memory_is_smallest(self, small_corpus):
-        rows = {row.algorithm: row for row in access_pattern_table(small_corpus, 6, rng=0)}
+        rows = {row.algorithm: row for row in access_pattern_table(small_corpus, 6, seed=0)}
         warplda = rows["WarpLDA"].random_memory_per_doc_bytes
         for name in ("SparseLDA", "AliasLDA", "F+LDA", "LightLDA"):
             assert warplda < rows[name].random_memory_per_doc_bytes
         assert rows["WarpLDA"].random_memory_per_doc == "O(K)"
 
     def test_fplus_uses_doc_matrix(self, small_corpus):
-        rows = {row.algorithm: row for row in access_pattern_table(small_corpus, 6, rng=0)}
+        rows = {row.algorithm: row for row in access_pattern_table(small_corpus, 6, seed=0)}
         assert rows["F+LDA"].random_memory_per_doc == "O(DK)"
         assert rows["F+LDA"].visiting_order == "word"
 
@@ -50,7 +50,7 @@ class TestTable2:
 class TestTable4:
     def test_warplda_has_the_lowest_miss_rate(self, small_corpus):
         results = l3_miss_rate_experiment(
-            small_corpus, num_topics=16, max_tokens=600, rng=0
+            small_corpus, num_topics=16, max_tokens=600, seed=0
         )
         assert set(results) == {"LightLDA", "F+LDA", "WarpLDA"}
         warplda = results["WarpLDA"]["l3_miss_rate"]
@@ -61,7 +61,7 @@ class TestTable4:
 
     def test_warplda_has_the_lowest_latency(self, small_corpus):
         results = l3_miss_rate_experiment(
-            small_corpus, num_topics=16, max_tokens=600, rng=0
+            small_corpus, num_topics=16, max_tokens=600, seed=0
         )
         assert (
             results["WarpLDA"]["avg_latency_cycles"]
@@ -74,7 +74,38 @@ class TestTable4:
 
     def test_explicit_cache_scale(self, small_corpus):
         results = l3_miss_rate_experiment(
-            small_corpus, num_topics=8, cache_scale=0.001, max_tokens=300, rng=0
+            small_corpus, num_topics=8, cache_scale=0.001, max_tokens=300, seed=0
         )
         for values in results.values():
             assert 0.0 <= values["l3_miss_rate"] <= 1.0
+
+
+class TestSeedMigration:
+    """The seed= migration keeps the deprecated rng= alias equivalent."""
+
+    def test_sparsity_rng_alias_warns_and_matches(self, small_corpus):
+        direct = estimate_topic_sparsity(small_corpus, num_topics=6, seed=3)
+        with pytest.warns(DeprecationWarning):
+            aliased = estimate_topic_sparsity(small_corpus, num_topics=6, rng=3)
+        assert aliased == direct
+
+    def test_l3_rng_alias_warns_and_matches(self, small_corpus):
+        direct = l3_miss_rate_experiment(
+            small_corpus, num_topics=8, max_tokens=300, seed=4
+        )
+        with pytest.warns(DeprecationWarning):
+            aliased = l3_miss_rate_experiment(
+                small_corpus, num_topics=8, max_tokens=300, rng=4
+            )
+        assert aliased == direct
+
+    def test_l3_default_seed_is_still_zero(self, small_corpus):
+        explicit = l3_miss_rate_experiment(
+            small_corpus, num_topics=8, max_tokens=300, seed=0
+        )
+        default = l3_miss_rate_experiment(small_corpus, num_topics=8, max_tokens=300)
+        assert default == explicit
+
+    def test_both_seed_and_rng_rejected(self, small_corpus):
+        with pytest.raises(ValueError, match="not both"):
+            estimate_topic_sparsity(small_corpus, num_topics=6, seed=1, rng=1)

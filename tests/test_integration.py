@@ -30,7 +30,7 @@ class TestTrainEvaluatePipeline:
             num_documents=80, vocabulary_size=100, mean_document_length=60, num_topics=5,
         )
         corpus = generate_lda_corpus(spec, seed=3)
-        train, held_out = corpus.split(0.8, rng=3)
+        train, held_out = corpus.split(0.8, seed=3)
 
         model = WarpLDA(train, num_topics=5, seed=0, num_mh_steps=2).fit(40)
         perplexity = held_out_perplexity(held_out, model.phi(), alpha=float(model.alpha[0]))

@@ -41,7 +41,7 @@ def sharp_corpus():
 
 @pytest.fixture(scope="module")
 def sharp_split(sharp_corpus):
-    return sharp_corpus.split(0.75, rng=1)
+    return sharp_corpus.split(0.75, seed=1)
 
 
 class TestCountInvariants:

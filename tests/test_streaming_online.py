@@ -28,7 +28,7 @@ def synthetic_split():
         topic_word_concentration=0.05,
     )
     full = generate_lda_corpus(spec, seed=0)
-    return full.split(0.8, rng=1)
+    return full.split(0.8, seed=1)
 
 
 def replay(trainer, corpus, batch_docs=25):
