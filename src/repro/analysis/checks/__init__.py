@@ -14,6 +14,7 @@ from repro.analysis.checks.locks import LockChecker
 from repro.analysis.checks.procs import ProcessChecker
 from repro.analysis.checks.rng import RngChecker
 from repro.analysis.checks.telemetry import TelemetryChecker
+from repro.analysis.checks.threads import ThreadChecker
 
 __all__ = [
     "ApiChecker",
@@ -22,4 +23,5 @@ __all__ = [
     "ProcessChecker",
     "RngChecker",
     "TelemetryChecker",
+    "ThreadChecker",
 ]

@@ -31,6 +31,13 @@ __all__ = ["KernelChecker"]
 
 _KERNEL_PREFIX = "repro.kernels"
 
+#: The one sanctioned owner of shared executor state in the kernel tier.
+#: ``repro.kernels.pool`` exists precisely to hold the lazily-created thread
+#: pools every kernel dispatches through (the ``THR001`` counterpart rule in
+#: :mod:`repro.analysis.checks.threads` forces kernels to use it), so its
+#: module-level executor cache is the contract, not a violation.
+_EXEMPT_MODULES = {"repro.kernels.pool"}
+
 #: Method calls that mutate a list/dict/set receiver.
 _CONTAINER_MUTATORS = {
     "append",
@@ -109,9 +116,10 @@ class KernelChecker(Checker):
     )
 
     def begin_module(self, ctx: ModuleContext) -> None:
-        self._active = ctx.module == _KERNEL_PREFIX or ctx.module.startswith(
-            _KERNEL_PREFIX + "."
-        )
+        self._active = (
+            ctx.module == _KERNEL_PREFIX
+            or ctx.module.startswith(_KERNEL_PREFIX + ".")
+        ) and ctx.module not in _EXEMPT_MODULES
         self._module_mutables: Set[str] = set()
         if not self._active:
             return

@@ -103,18 +103,21 @@ class SerialBackend(Backend):
                 beta=spec.beta,
                 word_proposal=spec.word_proposal,
                 kernel=spec.kernel,
+                threads=spec.threads,
             )
         # The baselines have no config dataclass; their lowering target is
         # the constructor keyword set.
+        from repro.samplers.base import resolve_kernel
         from repro.samplers.registry import SAMPLER_REGISTRY
 
         sampler_cls = SAMPLER_REGISTRY[spec.algorithm]
-        kernel = spec.kernel if spec.kernel in sampler_cls.KERNELS else "scalar"
+        kernel = resolve_kernel(sampler_cls, spec.kernel)
         kwargs: Dict[str, Any] = {
             "num_topics": spec.num_topics,
             "alpha": spec.alpha,
             "beta": spec.beta,
             "kernel": kernel,
+            "threads": spec.threads,
         }
         if spec.algorithm == "lightlda":
             kwargs["num_mh_steps"] = spec.num_mh_steps
@@ -167,6 +170,7 @@ class ParallelBackend(Backend):
             num_mh_steps=spec.num_mh_steps,
             iterations_per_epoch=options.get("iterations_per_epoch", 1),
             kernel=spec.kernel,
+            threads=spec.threads,
         )
 
     def build(self, spec: "ModelSpec", corpus: Optional[Any] = None) -> Any:
@@ -216,6 +220,7 @@ class OnlineBackend(Backend):
             beta=spec.beta,
             sampler=spec.algorithm,
             kernel=spec.kernel,
+            threads=spec.threads,
             window_docs=options.get("window_docs", 1024),
             sweeps_per_batch=options.get("sweeps_per_batch", 2),
             decay=options.get("decay", 1.0),

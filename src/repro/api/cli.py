@@ -118,6 +118,7 @@ _SPEC_FIELD_FLAGS = (
     ("beta", "beta"),
     ("mh_steps", "num_mh_steps"),
     ("kernel", "kernel"),
+    ("threads", "threads"),
     ("word_proposal", "word_proposal"),
     ("seed", "seed"),
     ("telemetry", "telemetry"),
@@ -150,7 +151,13 @@ def _add_spec_arguments(
     model.add_argument("--alpha", type=float, help="doc Dirichlet (default 50/K)")
     model.add_argument("--beta", type=float, help="word Dirichlet (default 0.01)")
     model.add_argument("--mh-steps", type=int, help="MH proposals per token")
-    model.add_argument("--kernel", choices=("slab", "scalar"))
+    model.add_argument("--kernel", choices=("slab", "scalar", "jit"))
+    model.add_argument(
+        "--threads",
+        type=int,
+        help="kernel worker threads (default: REPRO_THREADS env, else 1); "
+        "results are bit-identical for any value",
+    )
     model.add_argument("--word-proposal", choices=("mixture", "alias"))
     model.add_argument("--seed", type=int, help="master seed")
     model.add_argument(

@@ -66,7 +66,14 @@ class ModelSpec:
         MH proposals per token per phase (WarpLDA / LightLDA only; ignored
         by the exact samplers, like the constructors it lowers to).
     kernel:
-        ``"slab"`` (vectorised kernels) or ``"scalar"`` (legacy loops).
+        ``"slab"`` (vectorised kernels), ``"scalar"`` (legacy loops) or
+        ``"jit"`` (WarpLDA's numba inner chains; silently identical to
+        ``"slab"`` when numba is unavailable).
+    threads:
+        Worker threads for the slab kernels' bucket dispatch: a positive
+        int, or ``None`` to defer to the ``REPRO_THREADS`` environment
+        variable (default 1).  Thread count never changes results — the
+        sampled trajectory is bit-identical for every value.
     word_proposal:
         WarpLDA's word-proposal strategy, ``"mixture"`` or ``"alias"``
         (ignored by the other algorithms).
@@ -100,6 +107,7 @@ class ModelSpec:
     beta: float = 0.01
     num_mh_steps: int = 2
     kernel: str = "slab"
+    threads: Optional[int] = None
     word_proposal: str = "mixture"
     backend: str = "serial"
     backend_options: Mapping[str, Any] = field(default_factory=dict)
@@ -127,8 +135,20 @@ class ModelSpec:
             raise ValueError(
                 f"num_mh_steps must be positive, got {self.num_mh_steps}"
             )
-        if self.kernel not in ("slab", "scalar"):
-            raise ValueError(f"kernel must be 'slab' or 'scalar', got {self.kernel!r}")
+        if self.kernel not in ("slab", "scalar", "jit"):
+            raise ValueError(
+                f"kernel must be 'slab', 'scalar' or 'jit', got {self.kernel!r}"
+            )
+        if self.threads is not None:
+            if isinstance(self.threads, bool) or not isinstance(
+                self.threads, numbers.Integral
+            ):
+                raise ValueError(
+                    f"threads must be an int or None, got {self.threads!r}"
+                )
+            if self.threads <= 0:
+                raise ValueError(f"threads must be positive, got {self.threads}")
+            object.__setattr__(self, "threads", int(self.threads))
         if self.word_proposal not in ("mixture", "alias"):
             raise ValueError(
                 f"word_proposal must be 'mixture' or 'alias', got "
@@ -177,6 +197,7 @@ class ModelSpec:
             "beta": self.beta,
             "num_mh_steps": self.num_mh_steps,
             "kernel": self.kernel,
+            "threads": self.threads,
             "word_proposal": self.word_proposal,
             "backend": self.backend,
             "backend_options": dict(self.backend_options),

@@ -134,8 +134,16 @@ class WarpLDAConfig:
         knob for the ablation benches.
     kernel:
         ``"slab"`` (the default: bucketed whole-bucket NumPy execution, see
-        :mod:`repro.kernels.warp`) or ``"scalar"`` (the legacy row-by-row
+        :mod:`repro.kernels.warp`), ``"jit"`` (the slab path with the MH
+        inner chains compiled by numba when importable — bit-identical to
+        ``"slab"``, silently falling back to it without numba; see
+        :mod:`repro.kernels.jit`) or ``"scalar"`` (the legacy row-by-row
         loop, kept as the correctness oracle).
+    threads:
+        Worker threads for the slab/jit kernel phases (bucket chunks run
+        concurrently on :mod:`repro.kernels.pool`).  ``None`` defers to the
+        ``REPRO_THREADS`` environment variable (default 1).  The trajectory
+        is bit-identical for every thread count.
     """
 
     num_topics: int
@@ -145,6 +153,7 @@ class WarpLDAConfig:
     word_proposal: str = "mixture"
     doc_proposal: str = "mixture"
     kernel: str = "slab"
+    threads: Optional[int] = None
 
     def __post_init__(self) -> None:
         validate_hyperparameters(self.num_topics, self.alpha, self.beta)
@@ -158,10 +167,12 @@ class WarpLDAConfig:
             raise ValueError(
                 f"doc_proposal must be 'mixture', got {self.doc_proposal!r}"
             )
-        if self.kernel not in ("slab", "scalar"):
+        if self.kernel not in ("slab", "scalar", "jit"):
             raise ValueError(
-                f"kernel must be 'slab' or 'scalar', got {self.kernel!r}"
+                f"kernel must be 'slab', 'scalar' or 'jit', got {self.kernel!r}"
             )
+        if self.threads is not None and self.threads <= 0:
+            raise ValueError(f"threads must be positive, got {self.threads}")
 
 
 class WarpLDA:
@@ -179,6 +190,12 @@ class WarpLDA:
         Dirichlet hyper-parameters (see :class:`WarpLDAConfig`).
     word_proposal:
         Word-proposal strategy, ``"mixture"`` or ``"alias"``.
+    kernel:
+        Execution path: ``"slab"`` (default), ``"jit"`` or ``"scalar"``
+        (see :class:`WarpLDAConfig`).
+    threads:
+        Worker threads for the slab/jit phases; ``None`` defers to
+        ``REPRO_THREADS``.  Bit-identical results for every thread count.
     seed:
         Seed or generator controlling the full trajectory.
     config:
@@ -205,6 +222,7 @@ class WarpLDA:
         beta: float = 0.01,
         word_proposal: str = "mixture",
         kernel: str = "slab",
+        threads: Optional[int] = None,
         seed: RngLike = None,
         config: Optional[WarpLDAConfig] = None,
     ):
@@ -216,6 +234,7 @@ class WarpLDA:
                 beta=beta,
                 word_proposal=word_proposal,
                 kernel=kernel,
+                threads=threads,
             )
         else:
             warnings.warn(
@@ -229,6 +248,7 @@ class WarpLDA:
         self.corpus = corpus
         self.num_topics = config.num_topics
         self.num_mh_steps = config.num_mh_steps
+        self.threads = config.threads
         self.alpha, self.alpha_sum, self.beta, self.beta_sum = resolve_hyperparameters(
             config.num_topics, config.alpha, config.beta, corpus.vocabulary_size
         )
@@ -258,7 +278,10 @@ class WarpLDA:
         self._external_topic_counts: Optional[np.ndarray] = None
         # Reused per-phase scratch: the delayed global counts as float64 (and
         # the cached float64 view of the external sums), so neither phase
-        # re-allocates a K-vector per call.
+        # re-allocates a K-vector per call.  Concurrent bucket tasks share
+        # these arrays, so the kernels only ever receive non-writable views
+        # (_stale_topic_counts) — a stray in-kernel store would raise instead
+        # of silently corrupting a sibling task's reads.
         self._stale_topic_buffer = np.empty(self.num_topics, dtype=np.float64)
         self._external_topic_f64: Optional[np.ndarray] = None
 
@@ -320,12 +343,12 @@ class WarpLDA:
         obs = get_telemetry()
         if obs.enabled:
             self._run_iteration_instrumented(obs)
-        elif self.config.kernel == "slab":
-            self._word_phase_slab()
-            self._document_phase_slab()
-        else:
+        elif self.config.kernel == "scalar":
             self._word_phase()
             self._document_phase()
+        else:
+            self._word_phase_slab()
+            self._document_phase_slab()
         self.iterations_completed += 1
 
     def _run_iteration_instrumented(self, obs) -> None:
@@ -337,7 +360,7 @@ class WarpLDA:
         rates of Fig. 8.  The accumulators never touch the RNG stream, so an
         instrumented run stays bit-identical to an un-instrumented one.
         """
-        slab = self.config.kernel == "slab"
+        slab = self.config.kernel != "scalar"
         doc_proposal_stats = {"proposed": 0, "accepted": 0}
         word_proposal_stats = {"proposed": 0, "accepted": 0}
         with obs.span("word_phase", kernel=self.config.kernel):
@@ -366,12 +389,17 @@ class WarpLDA:
         """The phase-frozen global ``c_k`` as float64, in a reused buffer.
 
         External shard counts (data-parallel epochs) are added from the
-        float64 view cached by :meth:`set_external_counts`.
+        float64 view cached by :meth:`set_external_counts`.  Returns a
+        **read-only view**: the buffer is shared by every concurrent bucket
+        task of the phase, so any accidental in-kernel write must fail loudly
+        rather than race.
         """
         np.copyto(self._stale_topic_buffer, self.topic_counts)
         if self._external_topic_f64 is not None:
             self._stale_topic_buffer += self._external_topic_f64
-        return self._stale_topic_buffer
+        view = self._stale_topic_buffer.view()
+        view.flags.writeable = False
+        return view
 
     # ------------------------------------------------------------------ #
     # Data-parallel shard hooks (repro.training)
@@ -407,9 +435,14 @@ class WarpLDA:
                 f"external topic_counts must have shape ({self.num_topics},), "
                 f"got {topic_counts.shape}"
             )
-        self._external_word_topic = word_topic
+        # Freeze private copies: the kernels read these from every concurrent
+        # bucket task, so they must be immutable for the phase (and must not
+        # alias an array the caller could keep mutating).
+        self._external_word_topic = np.array(word_topic, dtype=np.int64)
+        self._external_word_topic.flags.writeable = False
         self._external_topic_counts = topic_counts
         self._external_topic_f64 = topic_counts.astype(np.float64)
+        self._external_topic_f64.flags.writeable = False
 
     def clear_external_counts(self) -> None:
         """Return to single-process semantics (no external shard counts)."""
@@ -577,6 +610,8 @@ class WarpLDA:
             exact_word_proposal=self.config.word_proposal == "alias",
             external_word_topic=self._external_word_topic,
             chain_stats=chain_stats,
+            threads=self.threads,
+            use_jit=self.config.kernel == "jit",
         )
         self.topic_counts = np.bincount(self.assignments, minlength=self.num_topics)
 
@@ -595,6 +630,8 @@ class WarpLDA:
             self.rng,
             alpha_alias=self._alpha_alias,
             chain_stats=chain_stats,
+            threads=self.threads,
+            use_jit=self.config.kernel == "jit",
         )
         self.topic_counts = np.bincount(self.assignments, minlength=self.num_topics)
 

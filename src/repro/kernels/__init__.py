@@ -33,6 +33,16 @@ Layout
 :mod:`~repro.kernels.light`
     LightLDA's cycle proposals executed as a delayed-count token-parallel
     sweep (the WarpLDA Sec. 4.2 reordering applied to LightLDA's chain).
+:mod:`~repro.kernels.pool`
+    The multi-core execution tier: the shared thread pool every kernel
+    dispatches its independent work units through, plus the per-task RNG
+    spawning that keeps the trajectory bit-identical for every thread count
+    (the ``THR001`` invariant makes it the only thread owner in this
+    package).
+:mod:`~repro.kernels.jit`
+    Optional numba-compiled inner MH chains for WarpLDA (``kernel="jit"``);
+    loads lazily and degrades to the NumPy slab path — bit-identically —
+    when numba is not installed.
 
 Exactness
 ---------

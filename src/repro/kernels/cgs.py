@@ -26,14 +26,32 @@ every ~K draws) under delayed counts — and with the proposal equal to the
 stale conditional, AliasLDA's Metropolis-Hastings staleness correction
 cancels identically, so the kernel draws from the stale conditional
 directly.
+
+Threaded execution
+------------------
+Blocks are grouped into fixed **waves** (:func:`_wave_size` — a pure
+function of the block count, never of the thread count).  Within a wave
+every block runs as one :mod:`repro.kernels.pool` task: its documents (and
+so its ``doc_topic`` rows and assignment slice) are exclusively its own and
+mutate live, while the shared ``word_topic``/``topic_counts`` stay frozen at
+wave entry — each block tracks its own updates in local copies and returns
+them as count deltas, which the calling thread applies serially in block
+order after the wave.  That is the AD-LDA delayed-count device at wave
+granularity; with fewer than ``2 * MIN_WAVES`` blocks the wave size is 1 and
+the sweep reduces to the previous strictly block-sequential semantics.
+Per-block RNG streams are spawned once per sweep from the main generator
+(:func:`repro.kernels.pool.spawn_task_rngs`), so results are bit-identical
+for every thread count.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from functools import partial
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.kernels import pool
 from repro.kernels.draws import row_categorical_draw
 
 __all__ = ["block_conditionals", "blocked_gibbs_sweep"]
@@ -47,6 +65,25 @@ MAX_BLOCK_CELLS = 1 << 19
 #: more Python overhead.  2k tokens keeps per-block staleness negligible
 #: while the per-block NumPy work still dwarfs the interpreter cost.
 DEFAULT_BLOCK_TOKENS = 2048
+
+#: Cap on blocks per wave (the concurrency the sweep exposes to the pool).
+MAX_WAVE_BLOCKS = 8
+
+#: Minimum number of waves per sweep: corpora with fewer than
+#: ``2 * MIN_WAVES`` blocks run with wave size 1 (strictly sequential
+#: blocks, the pre-threading semantics), so small-corpus trajectories keep
+#: their per-block count freshness.
+MIN_WAVES = 8
+
+
+def _wave_size(num_blocks: int) -> int:
+    """Blocks per wave — a pure function of the block count only.
+
+    Never depends on the thread count: the wave structure (like the block
+    structure) is part of the trajectory, which must be identical whether
+    the wave's blocks run on one thread or eight.
+    """
+    return max(1, min(MAX_WAVE_BLOCKS, num_blocks // MIN_WAVES))
 
 
 def block_conditionals(
@@ -97,46 +134,15 @@ def block_conditionals(
     return weights
 
 
-def blocked_gibbs_sweep(
-    state,
-    alpha: np.ndarray,
-    beta: float,
-    beta_sum: float,
-    rng: np.random.Generator,
-    max_block_tokens: Optional[int] = None,
-    stale_word_counts: bool = False,
-    inner_passes: int = 2,
-) -> None:
-    """One full blocked-Gibbs sweep over the corpus, document blocks in order.
+def _plan_blocks(
+    doc_offsets: np.ndarray, num_documents: int, max_block_tokens: int
+) -> List[Tuple[int, int]]:
+    """Contiguous document blocks of at most ``max_block_tokens`` tokens.
 
-    Mutates ``state`` in place and leaves all three count structures
-    consistent with the assignments (``TopicState.check_consistency`` holds
-    after every block).
-
-    ``inner_passes`` re-enumerates and re-draws each block that many times,
-    refreshing the block's counts between passes.  One pass is the pure
-    delayed draw; the default of two restores most of the within-block
-    feedback the sequential scan gets for free (a document's tokens
-    coordinating onto a topic within one sweep costs sequential CGS nothing,
-    but a frozen block cannot see it) at a small constant-factor cost — the
-    per-iteration mixing then matches or beats the scalar scan.  With
-    ``stale_word_counts=True`` only the document factor refreshes between
-    passes; the word/topic factor stays frozen at block entry.
+    A pure function of the corpus layout and the token cap — the block list
+    (like the wave grouping built on it) never depends on the thread count.
     """
-    corpus = state.corpus
-    num_topics = state.num_topics
-    if max_block_tokens is None:
-        max_block_tokens = max(1, min(DEFAULT_BLOCK_TOKENS, MAX_BLOCK_CELLS // num_topics))
-    if max_block_tokens <= 0:
-        raise ValueError(f"max_block_tokens must be positive, got {max_block_tokens}")
-    if inner_passes <= 0:
-        raise ValueError(f"inner_passes must be positive, got {inner_passes}")
-
-    doc_offsets = corpus.doc_offsets
-    token_docs = corpus.token_documents
-    token_words = corpus.token_words
-    num_documents = corpus.num_documents
-
+    blocks: List[Tuple[int, int]] = []
     doc_start = 0
     while doc_start < num_documents:
         doc_stop = doc_start + 1
@@ -148,35 +154,154 @@ def blocked_gibbs_sweep(
             doc_stop += 1
         token_start, token_stop = int(block_base), int(doc_offsets[doc_stop])
         doc_start = doc_stop
-        if token_start == token_stop:
-            continue
+        if token_start != token_stop:
+            blocks.append((token_start, token_stop))
+    return blocks
 
-        docs = token_docs[token_start:token_stop]
-        words = token_words[token_start:token_stop]
-        frozen_word_rows = None
-        frozen_topic = None
-        if stale_word_counts:
-            frozen_word_rows = state.word_topic[words].astype(np.float64)
-            frozen_topic = state.topic_counts.copy()
-        for _ in range(inner_passes):
-            weights = block_conditionals(
+
+def _run_block(
+    state,
+    token_start: int,
+    token_stop: int,
+    alpha: np.ndarray,
+    beta: float,
+    beta_sum: float,
+    rng: np.random.Generator,
+    stale_word_counts: bool,
+    inner_passes: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample one block against wave-frozen word/topic counts (one pool task).
+
+    Mutates ``state`` in place, but only its block-exclusive parts: the
+    block's assignment slice and its documents' ``doc_topic`` rows (documents
+    are contiguous and disjoint across blocks).  The shared
+    ``word_topic``/``topic_counts`` are only read — each pass sees the
+    wave-entry values plus this block's own updates, tracked in local copies
+    — and the block's net contribution comes back as
+    ``(unique_words, word_delta, topic_delta)`` for the caller to apply
+    serially after the wave.
+    """
+    corpus = state.corpus
+    num_topics = state.num_topics
+    docs = corpus.token_documents[token_start:token_stop]
+    words = corpus.token_words[token_start:token_stop]
+    unique_words, inverse = np.unique(words, return_inverse=True)
+
+    base_word = state.word_topic[unique_words]
+    base_topic = state.topic_counts.copy()
+    local_word = base_word.astype(np.float64)
+    local_topic = base_topic.astype(np.float64)
+    initial = state.assignments[token_start:token_stop].copy()
+
+    for _ in range(inner_passes):
+        # The stale (AliasLDA) decomposition freezes the word/topic factor at
+        # wave entry; the fresh path folds this block's own earlier passes in.
+        word_rows = (
+            base_word[inverse].astype(np.float64)
+            if stale_word_counts
+            else local_word[inverse]
+        )
+        topic_source = base_topic if stale_word_counts else local_topic
+        weights = block_conditionals(
+            state,
+            token_start,
+            token_stop,
+            alpha,
+            beta,
+            beta_sum,
+            word_rows=word_rows,
+            topic_counts=topic_source,
+        )
+        new_topics = row_categorical_draw(weights, rng)
+
+        old_topics = state.assignments[token_start:token_stop].copy()
+        state.assignments[token_start:token_stop] = new_topics
+        np.subtract.at(state.doc_topic, (docs, old_topics), 1)
+        np.add.at(state.doc_topic, (docs, new_topics), 1)
+        if not stale_word_counts:
+            np.subtract.at(local_word, (inverse, old_topics), 1.0)
+            np.add.at(local_word, (inverse, new_topics), 1.0)
+            local_topic += np.bincount(
+                new_topics, minlength=num_topics
+            ) - np.bincount(old_topics, minlength=num_topics)
+
+    final = state.assignments[token_start:token_stop]
+    word_delta = np.zeros((unique_words.size, num_topics), dtype=np.int64)
+    np.subtract.at(word_delta, (inverse, initial), 1)
+    np.add.at(word_delta, (inverse, final), 1)
+    topic_delta = np.bincount(final, minlength=num_topics) - np.bincount(
+        initial, minlength=num_topics
+    )
+    return unique_words, word_delta, topic_delta
+
+
+def blocked_gibbs_sweep(
+    state,
+    alpha: np.ndarray,
+    beta: float,
+    beta_sum: float,
+    rng: np.random.Generator,
+    max_block_tokens: Optional[int] = None,
+    stale_word_counts: bool = False,
+    inner_passes: int = 2,
+    threads: Optional[int] = None,
+) -> None:
+    """One full blocked-Gibbs sweep over the corpus, document blocks in order.
+
+    Mutates ``state`` in place and leaves all three count structures
+    consistent with the assignments (``TopicState.check_consistency`` holds
+    after every wave).
+
+    ``inner_passes`` re-enumerates and re-draws each block that many times,
+    refreshing the block's counts between passes.  One pass is the pure
+    delayed draw; the default of two restores most of the within-block
+    feedback the sequential scan gets for free (a document's tokens
+    coordinating onto a topic within one sweep costs sequential CGS nothing,
+    but a frozen block cannot see it) at a small constant-factor cost — the
+    per-iteration mixing then matches or beats the scalar scan.  With
+    ``stale_word_counts=True`` only the document factor refreshes between
+    passes; the word/topic factor stays frozen at block entry.
+
+    ``threads`` (per :func:`repro.kernels.pool.resolve_threads`) runs each
+    wave's blocks concurrently; the wave structure and per-block RNG streams
+    are thread-count-invariant, so the sweep is bit-identical for any value.
+    """
+    corpus = state.corpus
+    num_topics = state.num_topics
+    if max_block_tokens is None:
+        max_block_tokens = max(1, min(DEFAULT_BLOCK_TOKENS, MAX_BLOCK_CELLS // num_topics))
+    if max_block_tokens <= 0:
+        raise ValueError(f"max_block_tokens must be positive, got {max_block_tokens}")
+    if inner_passes <= 0:
+        raise ValueError(f"inner_passes must be positive, got {inner_passes}")
+
+    blocks = _plan_blocks(
+        corpus.doc_offsets, corpus.num_documents, max_block_tokens
+    )
+    if not blocks:
+        return
+    block_rngs = pool.spawn_task_rngs(rng, len(blocks))
+    wave = _wave_size(len(blocks))
+    for wave_start in range(0, len(blocks), wave):
+        wave_blocks = blocks[wave_start : wave_start + wave]
+        tasks = [
+            partial(
+                _run_block,
                 state,
                 token_start,
                 token_stop,
                 alpha,
                 beta,
                 beta_sum,
-                word_rows=frozen_word_rows,
-                topic_counts=frozen_topic,
+                block_rngs[wave_start + offset],
+                stale_word_counts,
+                inner_passes,
             )
-            new_topics = row_categorical_draw(weights, rng)
-
-            old_topics = state.assignments[token_start:token_stop].copy()
-            state.assignments[token_start:token_stop] = new_topics
-            np.subtract.at(state.doc_topic, (docs, old_topics), 1)
-            np.add.at(state.doc_topic, (docs, new_topics), 1)
-            np.subtract.at(state.word_topic, (words, old_topics), 1)
-            np.add.at(state.word_topic, (words, new_topics), 1)
-            state.topic_counts += np.bincount(
-                new_topics, minlength=num_topics
-            ) - np.bincount(old_topics, minlength=num_topics)
+            for offset, (token_start, token_stop) in enumerate(wave_blocks)
+        ]
+        results = pool.run_tasks(tasks, threads=threads, label="cgs.wave")
+        # Deltas apply serially, in block order, on the calling thread: the
+        # shared word/topic counts advance only at wave boundaries.
+        for unique_words, word_delta, topic_delta in results:
+            state.word_topic[unique_words] += word_delta
+            state.topic_counts += topic_delta

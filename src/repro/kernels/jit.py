@@ -1,0 +1,96 @@
+"""Optional Numba backend for the WarpLDA MH inner chains (``kernel="jit"``).
+
+The slab path already batches the Eq. (7) accept/reject chain into whole-bucket
+NumPy broadcasts, but each MH step still materialises several ``(R, L)``
+temporaries.  When ``numba`` is importable, this module compiles the chain to
+a single fused ``nogil`` loop — one pass over the chunk, zero temporaries —
+which the warp kernel swaps in per chunk.
+
+Bit-exactness contract
+----------------------
+The compiled chain consumes the **same pre-drawn uniforms** as the NumPy
+chain (drawn before dispatch, from the same per-task generator) and performs
+the Eq. (7) ratio arithmetic with the same operand association, and the row
+counts are phase-frozen during the chain — so iterating steps-per-cell is
+exactly equivalent to the NumPy path's cells-per-step order and the results
+are bit-identical to ``kernel="slab"``.  The equivalence suite asserts this
+whenever numba is present.
+
+Everything degrades cleanly without numba: :func:`jit_available` returns
+``False`` (also when ``REPRO_DISABLE_NUMBA`` is set — the CI fallback job),
+and ``WarpLDA`` silently runs the chain on the NumPy path instead.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Any, Optional
+
+__all__ = ["REPRO_DISABLE_NUMBA_ENV", "jit_available", "jit_mh_chain"]
+
+#: Set (to anything but "" or "0") to force the NumPy fallback even when
+#: numba is installed — how CI exercises the degraded path deterministically.
+REPRO_DISABLE_NUMBA_ENV = "REPRO_DISABLE_NUMBA"
+
+
+@lru_cache(maxsize=None)
+def _load_chain(disabled: bool) -> Optional[Any]:
+    """Import numba and compile the chain once; ``None`` when unavailable."""
+    if disabled:
+        return None
+    try:
+        import numba
+    except ImportError:
+        return None
+
+    @numba.njit(nogil=True, cache=False)
+    def mh_chain(
+        current, proposals, tokens, mask, row_counts, prior, stale, beta_sum, uniforms
+    ):  # pragma: no cover - requires numba
+        """Eq. (7) accept/reject over one chunk; ``current`` is modified in place.
+
+        ``prior`` is the per-topic prior vector (a constant β per topic for
+        the word phase, α for the document phase); ``uniforms`` has shape
+        ``(M, R, L)`` and was drawn by the caller so the RNG stream matches
+        the NumPy chain exactly.
+        """
+        num_steps = uniforms.shape[0]
+        num_rows, slab_len = current.shape
+        accepted = 0
+        for row in range(num_rows):
+            for col in range(slab_len):
+                if not mask[row, col]:
+                    continue
+                cur = current[row, col]
+                token = tokens[row, col]
+                for step in range(num_steps):
+                    prop = proposals[step, token]
+                    ratio = (
+                        (row_counts[row, prop] + prior[prop])
+                        * (stale[cur] + beta_sum)
+                    ) / (
+                        (row_counts[row, cur] + prior[cur])
+                        * (stale[prop] + beta_sum)
+                    )
+                    if uniforms[step, row, col] < ratio:
+                        cur = prop
+                        accepted += 1
+                current[row, col] = cur
+        return accepted
+
+    return mh_chain
+
+
+def _disabled() -> bool:
+    return os.environ.get(REPRO_DISABLE_NUMBA_ENV, "").strip() not in ("", "0")
+
+
+def jit_available() -> bool:
+    """True when the compiled chain can run (numba importable, not disabled)."""
+    return _load_chain(_disabled()) is not None
+
+
+def jit_mh_chain() -> Optional[Any]:
+    """The compiled chain function, or ``None`` when unavailable."""
+    return _load_chain(_disabled())

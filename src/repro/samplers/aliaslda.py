@@ -126,6 +126,7 @@ class AliasLDASampler(LDASampler):
                 self.beta_sum,
                 self.rng,
                 stale_word_counts=True,
+                threads=self.threads,
             )
             return
         self._sample_iteration_scalar()

@@ -31,8 +31,28 @@ __all__ = [
     "TopicState",
     "LDASampler",
     "resolve_hyperparameters",
+    "resolve_kernel",
     "validate_hyperparameters",
 ]
+
+
+def resolve_kernel(sampler_cls: type, kernel: str) -> str:
+    """Best supported execution path for ``kernel`` on ``sampler_cls``.
+
+    The degradation order mirrors the kernels' capability ladder:
+    a requested path the sampler implements is used as-is; ``"jit"`` (the
+    WarpLDA-only compiled tier) degrades to ``"slab"`` where available; and
+    anything else degrades to ``"scalar"``, which every sampler implements.
+    This keeps one config (``TrainerConfig``/``ModelSpec``) valid across
+    samplers with different kernel support instead of erroring midway
+    through construction.
+    """
+    kernels = getattr(sampler_cls, "KERNELS", ("scalar",))
+    if kernel in kernels:
+        return kernel
+    if "slab" in kernels:
+        return "slab"
+    return "scalar"
 
 
 def resolve_hyperparameters(
@@ -247,6 +267,11 @@ class LDASampler(abc.ABC):
         :mod:`repro.kernels` accept ``"slab"`` (their default) and keep the
         legacy per-token loop behind ``"scalar"`` as the correctness oracle;
         the rest only accept ``"scalar"``.
+    threads:
+        Worker threads for the slab kernels (dispatched through
+        :mod:`repro.kernels.pool`); ``None`` defers to the ``REPRO_THREADS``
+        environment variable (default 1).  The trajectory is bit-identical
+        for every thread count; the scalar path ignores the setting.
     """
 
     #: Human-readable algorithm name used in benchmark tables.
@@ -264,6 +289,7 @@ class LDASampler(abc.ABC):
         beta: float = 0.01,
         seed: RngLike = None,
         kernel: Optional[str] = None,
+        threads: Optional[int] = None,
     ):
         self.corpus = corpus
         self.num_topics = int(num_topics)
@@ -277,7 +303,10 @@ class LDASampler(abc.ABC):
                 f"{type(self).__name__} kernel must be one of "
                 f"{type(self).KERNELS}, got {kernel!r}"
             )
+        if threads is not None and threads <= 0:
+            raise ValueError(f"threads must be positive, got {threads}")
         self.kernel = kernel
+        self.threads = threads
         self.rng = ensure_rng(seed)
         self.state = TopicState(corpus, num_topics, rng=self.rng)
         self.iterations_completed = 0

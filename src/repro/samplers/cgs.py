@@ -57,7 +57,12 @@ class CollapsedGibbsSampler(LDASampler):
     def _sample_iteration(self) -> None:
         if self.kernel == "slab":
             blocked_gibbs_sweep(
-                self.state, self.alpha, self.beta, self.beta_sum, self.rng
+                self.state,
+                self.alpha,
+                self.beta,
+                self.beta_sum,
+                self.rng,
+                threads=self.threads,
             )
             return
         self._sample_iteration_scalar()

@@ -113,6 +113,7 @@ class LightLDASampler(LDASampler):
                 self.num_mh_steps,
                 self.rng,
                 alpha_alias=None if self._alpha_is_symmetric else self._alpha_alias,
+                threads=self.threads,
             )
             return
         self._sample_iteration_scalar()

@@ -44,7 +44,11 @@ import numpy as np
 from repro.core.warplda import WarpLDA
 from repro.corpus.corpus import Corpus, Document
 from repro.corpus.vocabulary import Vocabulary
-from repro.samplers.base import resolve_hyperparameters, validate_hyperparameters
+from repro.samplers.base import (
+    resolve_hyperparameters,
+    resolve_kernel,
+    validate_hyperparameters,
+)
 from repro.samplers.registry import SAMPLER_REGISTRY
 from repro.sampling.rng import RngLike, ensure_rng
 from repro.streaming.corpus import StreamingCorpus
@@ -68,8 +72,13 @@ class OnlineTrainerConfig:
         Defaults to ``"cgs"`` — the exact-enumeration sampler mixes fastest
         per sweep, which matters when each batch only gets a few sweeps.
     kernel:
-        ``"slab"`` (vectorised kernels, default) or ``"scalar"``; samplers
-        without a slab path fall back to scalar automatically.
+        ``"slab"`` (vectorised kernels, default), ``"scalar"``, or ``"jit"``
+        (WarpLDA only; falls back to slab without numba); samplers without a
+        slab path fall back to scalar automatically.
+    threads:
+        Worker threads for the slab kernels' bucket dispatch; ``None`` defers
+        to the ``REPRO_THREADS`` environment variable (default 1).  Results
+        are bit-identical for every thread count.
     window_docs:
         Sliding-window size in documents.  Documents beyond the window are
         retired into the decayed external counts.
@@ -87,6 +96,7 @@ class OnlineTrainerConfig:
     beta: float = 0.01
     sampler: str = "cgs"
     kernel: str = "slab"
+    threads: Optional[int] = None
     window_docs: int = 1024
     sweeps_per_batch: int = 2
     decay: float = 1.0
@@ -115,8 +125,12 @@ class OnlineTrainerConfig:
             raise ValueError(f"decay must be in (0, 1], got {self.decay}")
         if self.num_mh_steps <= 0:
             raise ValueError(f"num_mh_steps must be positive, got {self.num_mh_steps}")
-        if self.kernel not in ("slab", "scalar"):
-            raise ValueError(f"kernel must be 'slab' or 'scalar', got {self.kernel!r}")
+        if self.kernel not in ("slab", "scalar", "jit"):
+            raise ValueError(
+                f"kernel must be 'slab', 'scalar' or 'jit', got {self.kernel!r}"
+            )
+        if self.threads is not None and self.threads <= 0:
+            raise ValueError(f"threads must be positive, got {self.threads}")
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible form (snapshot metadata, bench records)."""
@@ -365,6 +379,7 @@ class OnlineTrainer:
                 alpha=config.alpha,
                 beta=config.beta,
                 kernel=config.kernel,
+                threads=config.threads,
                 seed=self.rng,
             )
             model.assignments[:] = warm
@@ -376,12 +391,13 @@ class OnlineTrainer:
             model.fit(config.sweeps_per_batch)
             warm[:] = model.assignments
             return
-        kernel = config.kernel if config.kernel in sampler_cls.KERNELS else "scalar"
+        kernel = resolve_kernel(sampler_cls, config.kernel)
         kwargs: Dict[str, Any] = {
             "alpha": config.alpha,
             "beta": config.beta,
             "seed": self.rng,
             "kernel": kernel,
+            "threads": config.threads,
         }
         if config.sampler == "lightlda":
             kwargs["num_mh_steps"] = config.num_mh_steps

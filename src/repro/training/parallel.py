@@ -48,6 +48,7 @@ from repro.obs import Telemetry, get_telemetry, use_telemetry
 from repro.samplers.base import (
     LDASampler,
     resolve_hyperparameters,
+    resolve_kernel,
     validate_hyperparameters,
 )
 from repro.samplers.lightlda import LightLDASampler
@@ -86,9 +87,14 @@ class TrainerConfig:
         own delay); larger values trade staleness for fewer barriers.
     kernel:
         Execution path for every shard's sampler: ``"slab"`` (the vectorised
-        kernels of :mod:`repro.kernels`, the default) or ``"scalar"`` (the
-        legacy per-row loops).  Samplers without a slab path fall back to
-        scalar automatically.
+        kernels of :mod:`repro.kernels`, the default), ``"jit"`` (WarpLDA's
+        compiled MH chains when numba is importable) or ``"scalar"`` (the
+        legacy per-row loops).  Samplers without the requested path degrade
+        along ``jit -> slab -> scalar`` automatically
+        (:func:`repro.samplers.base.resolve_kernel`).
+    threads:
+        Worker threads for each shard's slab kernels (``None`` defers to
+        ``REPRO_THREADS``).  Thread count never changes the trajectory.
     """
 
     sampler: str = "warplda"
@@ -98,6 +104,7 @@ class TrainerConfig:
     num_mh_steps: int = 2
     iterations_per_epoch: int = 1
     kernel: str = "slab"
+    threads: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.sampler not in SAMPLER_REGISTRY:
@@ -118,10 +125,12 @@ class TrainerConfig:
             raise ValueError(
                 f"iterations_per_epoch must be positive, got {self.iterations_per_epoch}"
             )
-        if self.kernel not in ("slab", "scalar"):
+        if self.kernel not in ("slab", "scalar", "jit"):
             raise ValueError(
-                f"kernel must be 'slab' or 'scalar', got {self.kernel!r}"
+                f"kernel must be 'slab', 'scalar' or 'jit', got {self.kernel!r}"
             )
+        if self.threads is not None and self.threads <= 0:
+            raise ValueError(f"threads must be positive, got {self.threads}")
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible form (checkpoint sidecars)."""
@@ -167,16 +176,18 @@ class ShardRunner:
                 alpha=config.alpha,
                 beta=config.beta,
                 kernel=config.kernel,
+                threads=config.threads,
                 seed=rng,
             )
         else:
-            # Samplers without a vectorised path only accept "scalar".
-            kernel = config.kernel if config.kernel in sampler_cls.KERNELS else "scalar"
+            # Samplers without the requested path degrade jit -> slab -> scalar.
+            kernel = resolve_kernel(sampler_cls, config.kernel)
             kwargs: Dict[str, Any] = {
                 "alpha": config.alpha,
                 "beta": config.beta,
                 "seed": rng,
                 "kernel": kernel,
+                "threads": config.threads,
             }
             if sampler_cls is LightLDASampler:
                 kwargs["num_mh_steps"] = config.num_mh_steps

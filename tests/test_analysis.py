@@ -43,7 +43,7 @@ class TestFramework:
 
     def test_every_family_registered(self):
         names = {cls.name for cls in registered_checkers()}
-        assert {"rng", "telemetry", "kernels", "locks", "procs", "api"} <= names
+        assert {"rng", "telemetry", "kernels", "locks", "procs", "api", "threads"} <= names
 
     def test_finding_format(self):
         finding = Finding("src/x.py", 12, "RNG001", "boom")
@@ -451,6 +451,74 @@ class TestProcessRules:
 
 
 # --------------------------------------------------------------------- #
+# Thread discipline
+# --------------------------------------------------------------------- #
+class TestThreadRules:
+    def test_thr001_executor_in_kernel_fires(self):
+        findings = run_linter(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def sweep(tasks):
+                with ThreadPoolExecutor(max_workers=4) as executor:
+                    return list(executor.map(lambda t: t(), tasks))
+            """,
+            module="repro.kernels.fancy",
+        )
+        assert "THR001" in codes(findings)
+
+    def test_thr001_raw_thread_in_kernel_fires(self):
+        findings = run_linter(
+            """
+            import threading
+
+            def sweep(task):
+                worker = threading.Thread(target=task)
+                worker.start()
+            """,
+            module="repro.kernels.fancy",
+        )
+        assert codes(findings) == ["THR001"]
+
+    def test_thr001_pool_module_is_exempt(self):
+        findings = run_linter(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def _get_executor(threads):
+                return ThreadPoolExecutor(max_workers=threads)
+            """,
+            module="repro.kernels.pool",
+        )
+        assert findings == []
+
+    def test_thr001_silent_outside_kernel_tier(self):
+        findings = run_linter(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def run(tasks):
+                with ThreadPoolExecutor(max_workers=2) as executor:
+                    return list(executor.map(str, tasks))
+            """,
+            module="repro.training.parallel",
+        )
+        assert findings == []
+
+    def test_thr001_clean_pool_dispatch(self):
+        findings = run_linter(
+            """
+            from repro.kernels import pool
+
+            def sweep(tasks, threads):
+                pool.run_tasks(tasks, threads=threads, label="fixture")
+            """,
+            module="repro.kernels.fancy",
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
 # API hygiene
 # --------------------------------------------------------------------- #
 class TestApiRules:
@@ -664,7 +732,7 @@ class TestCli:
     def test_list_rules_covers_every_family(self, capsys):
         assert analysis_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("RNG001", "OBS001", "KER001", "LOCK001", "MP001", "API001", "SUP001"):
+        for code in ("RNG001", "OBS001", "KER001", "LOCK001", "MP001", "API001", "SUP001", "THR001"):
             assert code in out
 
     def test_shipped_baseline_is_empty(self):

@@ -1,0 +1,283 @@
+"""The threaded kernel tier: pool primitives and bit-exact determinism.
+
+The contract under test (``repro.kernels.pool`` module docstring, README
+"Determinism contract"): the sampled trajectory of every slab kernel is
+**bit-identical for every thread count** — the task decomposition never
+depends on the worker count, per-task RNG streams are spawned from a single
+main-stream draw, and results are applied in task order.  These tests pin
+that matrix for all three slab kernels (warp, cgs, light), through every
+entry point (constructor argument, ``REPRO_THREADS`` environment default),
+down to the exported snapshot bytes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.warplda import WarpLDA
+from repro.kernels import pool
+from repro.kernels.cgs import blocked_gibbs_sweep
+from repro.kernels.jit import jit_available
+from repro.kernels.light import delayed_cycle_sweep
+from repro.samplers import (
+    AliasLDASampler,
+    CollapsedGibbsSampler,
+    LightLDASampler,
+)
+
+THREAD_MATRIX = (1, 2, 4)
+
+SLAB_SAMPLERS = [
+    pytest.param(
+        lambda corpus, threads: WarpLDA(
+            corpus, num_topics=5, seed=3, threads=threads
+        ),
+        id="warplda",
+    ),
+    pytest.param(
+        lambda corpus, threads: CollapsedGibbsSampler(
+            corpus, num_topics=5, seed=3, threads=threads
+        ),
+        id="cgs",
+    ),
+    pytest.param(
+        lambda corpus, threads: AliasLDASampler(
+            corpus, num_topics=5, seed=3, threads=threads
+        ),
+        id="aliaslda",
+    ),
+    pytest.param(
+        lambda corpus, threads: LightLDASampler(
+            corpus, num_topics=5, seed=3, threads=threads
+        ),
+        id="lightlda",
+    ),
+]
+
+
+# --------------------------------------------------------------------- #
+# Pool primitives
+# --------------------------------------------------------------------- #
+class TestResolveThreads:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(pool.REPRO_THREADS_ENV, raising=False)
+        assert pool.resolve_threads(None) == 1
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv(pool.REPRO_THREADS_ENV, "3")
+        assert pool.resolve_threads(None) == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(pool.REPRO_THREADS_ENV, "8")
+        assert pool.resolve_threads(2) == 2
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv(pool.REPRO_THREADS_ENV, "many")
+        with pytest.raises(ValueError, match="REPRO_THREADS"):
+            pool.resolve_threads(None)
+
+    @pytest.mark.parametrize("bad", [0, -2])
+    def test_non_positive_raises(self, bad):
+        with pytest.raises(ValueError, match="positive"):
+            pool.resolve_threads(bad)
+
+
+class TestSpawnTaskRngs:
+    def test_zero_tasks_consume_nothing(self):
+        rng = np.random.default_rng(5)
+        assert pool.spawn_task_rngs(rng, 0) == []
+        untouched = np.random.default_rng(5)
+        assert rng.integers(1 << 31) == untouched.integers(1 << 31)
+
+    def test_one_draw_regardless_of_count(self):
+        # The main stream must advance identically for every decomposition,
+        # or checkpoint resume would depend on the chunking.
+        rng_a, rng_b = np.random.default_rng(5), np.random.default_rng(5)
+        pool.spawn_task_rngs(rng_a, 3)
+        pool.spawn_task_rngs(rng_b, 7)
+        assert rng_a.integers(1 << 31) == rng_b.integers(1 << 31)
+
+    def test_streams_are_deterministic(self):
+        first = pool.spawn_task_rngs(np.random.default_rng(5), 4)
+        second = pool.spawn_task_rngs(np.random.default_rng(5), 4)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.random(8), b.random(8))
+
+
+class TestRunTasks:
+    @pytest.mark.parametrize("threads", THREAD_MATRIX)
+    def test_results_in_task_order(self, threads):
+        tasks = [(lambda i=i: i * i) for i in range(17)]
+        assert pool.run_tasks(tasks, threads=threads) == [
+            i * i for i in range(17)
+        ]
+
+    @pytest.mark.parametrize("threads", [1, 4])
+    def test_exceptions_propagate(self, threads):
+        def boom():
+            raise RuntimeError("task failed")
+
+        with pytest.raises(RuntimeError, match="task failed"):
+            pool.run_tasks([lambda: 1, boom, lambda: 3], threads=threads)
+
+    def test_empty_task_list(self):
+        assert pool.run_tasks([], threads=4) == []
+
+
+# --------------------------------------------------------------------- #
+# The determinism matrix
+# --------------------------------------------------------------------- #
+class TestThreadCountDeterminism:
+    @pytest.mark.parametrize("build", SLAB_SAMPLERS)
+    def test_assignments_identical_across_thread_counts(
+        self, small_corpus, build
+    ):
+        runs = {
+            threads: build(small_corpus, threads).fit(4)
+            for threads in THREAD_MATRIX
+        }
+        baseline = runs[1]
+        for threads, model in runs.items():
+            np.testing.assert_array_equal(
+                model.assignments,
+                baseline.assignments,
+                err_msg=f"threads={threads} diverged from threads=1",
+            )
+
+    @pytest.mark.parametrize("build", SLAB_SAMPLERS)
+    def test_snapshot_bytes_identical_across_thread_counts(
+        self, small_corpus, build, tmp_path
+    ):
+        blobs = {}
+        for threads in THREAD_MATRIX:
+            model = build(small_corpus, threads).fit(3)
+            path = model.export_snapshot().save(tmp_path / f"t{threads}.npz")
+            blobs[threads] = path.read_bytes()
+        assert blobs[2] == blobs[1]
+        assert blobs[4] == blobs[1]
+
+    def test_env_default_matches_explicit_and_serial(
+        self, small_corpus, monkeypatch
+    ):
+        monkeypatch.delenv(pool.REPRO_THREADS_ENV, raising=False)
+        serial = WarpLDA(small_corpus, num_topics=5, seed=3).fit(4)
+        monkeypatch.setenv(pool.REPRO_THREADS_ENV, "3")
+        via_env = WarpLDA(small_corpus, num_topics=5, seed=3).fit(4)
+        np.testing.assert_array_equal(via_env.assignments, serial.assignments)
+        np.testing.assert_array_equal(via_env.proposals, serial.proposals)
+
+    def test_cgs_multi_wave_sweep_is_thread_invariant(self, small_corpus):
+        # A tiny block budget forces many blocks, so the wave size exceeds 1
+        # and blocks genuinely run concurrently within a wave.
+        states = {}
+        for threads in THREAD_MATRIX:
+            sampler = CollapsedGibbsSampler(
+                small_corpus, num_topics=5, seed=3, kernel="scalar"
+            )
+            rng = np.random.default_rng(17)
+            for _ in range(3):
+                blocked_gibbs_sweep(
+                    sampler.state,
+                    sampler.alpha,
+                    sampler.beta,
+                    sampler.beta_sum,
+                    rng,
+                    max_block_tokens=16,
+                    threads=threads,
+                )
+            assert sampler.state.check_consistency()
+            states[threads] = sampler.state.assignments.copy()
+        np.testing.assert_array_equal(states[2], states[1])
+        np.testing.assert_array_equal(states[4], states[1])
+
+    def test_light_chunked_sweep_is_thread_invariant(self, small_corpus):
+        states = {}
+        for threads in THREAD_MATRIX:
+            sampler = LightLDASampler(
+                small_corpus, num_topics=5, seed=3, kernel="scalar"
+            )
+            rng = np.random.default_rng(17)
+            for _ in range(3):
+                delayed_cycle_sweep(
+                    sampler.state,
+                    sampler.alpha,
+                    sampler.alpha_sum,
+                    sampler.beta,
+                    sampler.beta_sum,
+                    sampler.num_mh_steps,
+                    rng,
+                    threads=threads,
+                    chunk_tokens=64,
+                )
+            assert sampler.state.check_consistency()
+            states[threads] = sampler.state.assignments.copy()
+        np.testing.assert_array_equal(states[2], states[1])
+        np.testing.assert_array_equal(states[4], states[1])
+
+
+class TestJitTier:
+    def test_jit_kernel_validates(self, small_corpus):
+        model = WarpLDA(small_corpus, num_topics=5, seed=3, kernel="jit")
+        assert model.config.kernel == "jit"
+
+    def test_jit_falls_back_bit_identically_without_numba(self, small_corpus):
+        # Without numba the "jit" kernel silently runs the slab path —
+        # same decomposition, same RNG consumption, same trajectory.  (With
+        # numba present the compiled chain replays the NumPy chain exactly,
+        # so this equality holds either way.)
+        slab = WarpLDA(
+            small_corpus, num_topics=5, seed=3, kernel="slab"
+        ).fit(4)
+        jit = WarpLDA(small_corpus, num_topics=5, seed=3, kernel="jit").fit(4)
+        np.testing.assert_array_equal(jit.assignments, slab.assignments)
+        np.testing.assert_array_equal(jit.proposals, slab.proposals)
+
+    @pytest.mark.skipif(not jit_available(), reason="numba not installed")
+    def test_compiled_chain_matches_numpy_chain(self, small_corpus):
+        disabled = WarpLDA(
+            small_corpus, num_topics=5, seed=3, kernel="slab", threads=2
+        ).fit(4)
+        compiled = WarpLDA(
+            small_corpus, num_topics=5, seed=3, kernel="jit", threads=2
+        ).fit(4)
+        np.testing.assert_array_equal(
+            compiled.assignments, disabled.assignments
+        )
+
+
+# --------------------------------------------------------------------- #
+# Shared-buffer safety across concurrent buckets (regression)
+# --------------------------------------------------------------------- #
+class TestSharedBufferSafety:
+    def test_stale_topic_counts_view_is_read_only(self, small_corpus):
+        model = WarpLDA(small_corpus, num_topics=5, seed=3)
+        stale = model._stale_topic_counts()
+        with pytest.raises(ValueError, match="read-only"):
+            stale[0] = 1.0
+
+    def test_external_counts_are_frozen_copies(self, small_corpus):
+        model = WarpLDA(small_corpus, num_topics=5, seed=3)
+        external = np.ones(
+            (small_corpus.vocabulary_size, model.num_topics), dtype=np.int64
+        )
+        model.set_external_counts(external)
+        assert not model._external_word_topic.flags.writeable
+        assert not model._external_topic_f64.flags.writeable
+        # The installed counts are copies: mutating the caller's array must
+        # not alias into concurrently running bucket tasks.
+        external[:] = 99
+        assert int(model._external_word_topic.max()) == 1
+
+    def test_external_counts_do_not_perturb_determinism(self, small_corpus):
+        def run(threads):
+            model = WarpLDA(small_corpus, num_topics=5, seed=3, threads=threads)
+            external = np.full(
+                (small_corpus.vocabulary_size, model.num_topics),
+                2,
+                dtype=np.int64,
+            )
+            model.set_external_counts(external)
+            return model.fit(3).assignments.copy()
+
+        baseline = run(1)
+        for threads in (2, 4):
+            np.testing.assert_array_equal(run(threads), baseline)
