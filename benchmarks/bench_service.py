@@ -1,0 +1,330 @@
+"""Service benchmark: HTTP tail latency and saturation throughput.
+
+Boots the full serving tier — :class:`repro.service.TopicService` over a
+shared-memory worker pool — on a loopback socket and drives it with
+closed-loop HTTP clients (each fires its next request the moment the
+previous answer lands, over a keep-alive connection).  A sweep over client
+counts maps the saturation curve; the record keeps:
+
+* **tail latency** — client-observed p50/p95/p99 per concurrency level;
+* **saturation throughput** — requests/docs/tokens per second at the level
+  that served the most (the number admission control is protecting).
+
+Only the ``saturation`` block carries ``*_per_sec`` keys, so the perf gate
+(`check_regression.py`) compares peak throughput and ignores the shape of
+the sweep.  Results land in ``BENCH_service.json`` at the repository root.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+
+or quickly on a tiny corpus (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+import _harness
+from repro import WarpLDA
+from repro.corpus import SyntheticCorpusSpec, generate_lda_corpus
+from repro.obs import Telemetry
+from repro.service import ServiceConfig, TopicService
+
+REPO_ROOT = _harness.REPO_ROOT
+
+#: Documents per /infer request (one request = one micro-batch of traffic).
+DOCS_PER_REQUEST = 4
+
+
+class _Client:
+    """One closed-loop load generator over a keep-alive connection."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        bodies: List[bytes],
+        body_tokens: List[int],
+        barrier: threading.Barrier,
+        deadline_holder: List[float],
+        offset: int,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._bodies = bodies
+        self._body_tokens = body_tokens
+        self._barrier = barrier
+        self._deadline = deadline_holder
+        self._offset = offset
+        self.latencies: List[float] = []
+        self.tokens = 0
+        self.docs = 0
+        self.failures: List[str] = []
+
+    def run(self) -> None:
+        connection = http.client.HTTPConnection(self._host, self._port, timeout=60)
+        try:
+            self._barrier.wait()
+            index = self._offset
+            while time.perf_counter() < self._deadline[0]:
+                body = self._bodies[index % len(self._bodies)]
+                started = time.perf_counter()
+                connection.request(
+                    "POST",
+                    "/infer",
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                payload = response.read()
+                elapsed = time.perf_counter() - started
+                if response.status != 200:
+                    self.failures.append(
+                        f"status {response.status}: {payload[:200]!r}"
+                    )
+                    return
+                self.latencies.append(elapsed)
+                self.tokens += self._body_tokens[index % len(self._bodies)]
+                self.docs += DOCS_PER_REQUEST
+                index += 1
+        except Exception as error:  # noqa: BLE001 - report, don't hang the sweep
+            self.failures.append(repr(error))
+        finally:
+            connection.close()
+
+
+def _run_level(
+    service: TopicService,
+    num_clients: int,
+    duration: float,
+    bodies: List[bytes],
+    body_tokens: List[int],
+) -> Dict[str, Any]:
+    """Drive one concurrency level and summarise what the clients saw."""
+    barrier = threading.Barrier(num_clients + 1)
+    deadline_holder = [0.0]
+    clients = [
+        _Client(
+            service.host,
+            service.port,
+            bodies,
+            body_tokens,
+            barrier,
+            deadline_holder,
+            offset=index,
+        )
+        for index in range(num_clients)
+    ]
+    threads = [threading.Thread(target=client.run) for client in clients]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    deadline_holder[0] = started + duration
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    failures = [failure for client in clients for failure in client.failures]
+    if failures:
+        raise RuntimeError(f"load clients failed: {failures[:3]}")
+    latencies = np.asarray(
+        [latency for client in clients for latency in client.latencies]
+    )
+    if latencies.size == 0:
+        raise RuntimeError(
+            f"no requests completed at {num_clients} clients in {duration}s"
+        )
+    requests = int(latencies.size)
+    return {
+        "clients": num_clients,
+        "requests": requests,
+        "elapsed_seconds": round(elapsed, 4),
+        "requests_per_sec": round(requests / elapsed, 1),
+        "docs_per_sec": round(sum(c.docs for c in clients) / elapsed, 1),
+        "tokens_per_sec": round(sum(c.tokens for c in clients) / elapsed, 1),
+        "latency_ms": {
+            "p50": round(float(np.percentile(latencies, 50)) * 1e3, 3),
+            "p95": round(float(np.percentile(latencies, 95)) * 1e3, 3),
+            "p99": round(float(np.percentile(latencies, 99)) * 1e3, 3),
+            "max": round(float(latencies.max()) * 1e3, 3),
+        },
+    }
+
+
+def run_service_bench(
+    num_documents: int,
+    vocabulary_size: int,
+    mean_length: int,
+    num_topics: int,
+    train_iterations: int,
+    num_workers: int,
+    client_levels: List[int],
+    duration: float,
+    seed: int,
+) -> Tuple[Dict[str, Any], Telemetry]:
+    """Train a small model, serve it over HTTP, sweep the client counts.
+
+    Returns ``(record, session)``; the session was handed to the service, so
+    the ``service.*`` counters and latency histograms (plus the workers'
+    shipped-home telemetry) are in the digest without bench-side bookkeeping.
+    """
+    spec = SyntheticCorpusSpec(
+        num_documents=num_documents,
+        vocabulary_size=vocabulary_size,
+        mean_document_length=mean_length,
+        num_topics=num_topics,
+    )
+    corpus = generate_lda_corpus(spec, seed=seed)
+    snapshot = (
+        WarpLDA(corpus, num_topics=num_topics, seed=seed)
+        .fit(train_iterations)
+        .export_snapshot()
+    )
+
+    # Request bodies: fixed rotation of DOCS_PER_REQUEST-document batches,
+    # pre-serialised so client-side JSON cost stays off the latency numbers.
+    rng = np.random.default_rng(seed)
+    bodies: List[bytes] = []
+    body_tokens: List[int] = []
+    for start in range(0, min(corpus.num_documents, 64), DOCS_PER_REQUEST):
+        documents = [
+            corpus.document_words(
+                int(rng.integers(corpus.num_documents))
+            ).tolist()
+            for _ in range(DOCS_PER_REQUEST)
+        ]
+        bodies.append(json.dumps({"documents": documents}).encode("utf-8"))
+        body_tokens.append(sum(len(document) for document in documents))
+
+    config = ServiceConfig(
+        port=0,
+        num_workers=num_workers,
+        max_pending=max(64, 4 * max(client_levels)),
+        seed=seed,
+    )
+    levels: List[Dict[str, Any]] = []
+    with _harness.recording() as session:
+        with TopicService(snapshot, config=config, telemetry=session).start() as service:
+            # One warm-up request per worker (fork, attach, first fold-in).
+            _run_level(service, min(2, num_workers), 0.2, bodies, body_tokens)
+            for num_clients in client_levels:
+                levels.append(
+                    _run_level(service, num_clients, duration, bodies, body_tokens)
+                )
+            diagnostics = service.diagnostics()
+            stats = service._stats_payload()
+
+    segments = {info["segment"] for info in diagnostics}
+    if len(segments) != 1 or not all(info["zero_copy"] for info in diagnostics):
+        raise RuntimeError(f"expected one zero-copy segment, got {diagnostics}")
+
+    saturation = max(levels, key=lambda level: level["requests_per_sec"])
+    return {
+        "corpus": {
+            "documents": corpus.num_documents,
+            "tokens": corpus.num_tokens,
+            "vocabulary": corpus.vocabulary_size,
+        },
+        "config": {
+            "num_topics": num_topics,
+            "train_iterations": train_iterations,
+            "num_workers": num_workers,
+            "docs_per_request": DOCS_PER_REQUEST,
+            "client_levels": client_levels,
+            "duration_seconds": duration,
+            "seed": seed,
+        },
+        "results": {
+            # The sweep lives in a list so the gate only sees `saturation`.
+            "levels": levels,
+            "saturation": {
+                "clients": saturation["clients"],
+                "requests_per_sec": saturation["requests_per_sec"],
+                "docs_per_sec": saturation["docs_per_sec"],
+                "tokens_per_sec": saturation["tokens_per_sec"],
+            },
+            "latency_ms_at_saturation": saturation["latency_ms"],
+            "shared_segments": len(segments),
+            "workers_alive_at_end": stats["workers_alive"],
+            "server_requests": stats["requests"],
+            "rejected": stats["rejected"],
+            "errors": stats["errors"],
+        },
+    }, session
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny corpus (CI)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_service.json",
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        record, session = run_service_bench(
+            num_documents=120,
+            vocabulary_size=300,
+            mean_length=30,
+            num_topics=5,
+            train_iterations=5,
+            num_workers=2,
+            client_levels=[1, 4],
+            duration=1.0,
+            seed=args.seed,
+        )
+    else:
+        record, session = run_service_bench(
+            num_documents=2000,
+            vocabulary_size=4000,
+            mean_length=60,
+            num_topics=20,
+            train_iterations=15,
+            num_workers=4,
+            client_levels=[1, 2, 4, 8, 16],
+            duration=3.0,
+            seed=args.seed,
+        )
+
+    _harness.write_report(
+        args.output,
+        "service",
+        {"smoke": args.smoke, **record},
+        telemetry=session,
+    )
+
+    results = record["results"]
+    saturation = results["saturation"]
+    tail = results["latency_ms_at_saturation"]
+    print(
+        f"served {results['server_requests']} requests over "
+        f"{record['config']['num_workers']} workers "
+        f"({results['shared_segments']} shared phi segment)"
+    )
+    print(
+        f"saturation at {saturation['clients']} clients: "
+        f"{saturation['requests_per_sec']} req/s, "
+        f"{saturation['tokens_per_sec']} tokens/s; "
+        f"p50 {tail['p50']} ms, p99 {tail['p99']} ms"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,6 +50,12 @@ Subpackages
 ``repro.serving``
     The model-serving layer: immutable snapshots, batched unseen-document
     inference and a micro-batching topic server.
+``repro.service``
+    The network serving tier: a stdlib-asyncio HTTP front end routing into a
+    pool of worker processes that share one snapshot copy via
+    ``multiprocessing.shared_memory``, with admission control, request
+    timeouts and registry hot-swap broadcast (``python -m repro serve
+    --http HOST:PORT``).
 ``repro.training``
     Multiprocess data-parallel training: document sharding, epoch-barrier
     count merging and resumable checkpoints (spec backend ``parallel``).
@@ -81,7 +87,9 @@ _EXPORTS = {
     "Vocabulary": "repro.corpus.vocabulary",
     "InferenceEngine": "repro.serving",
     "ModelSnapshot": "repro.serving",
+    "ServiceConfig": "repro.service",
     "TopicServer": "repro.serving",
+    "TopicService": "repro.service",
     "DocumentStream": "repro.streaming",
     "ModelRegistry": "repro.streaming",
     "OnlineTrainer": "repro.streaming",

@@ -13,6 +13,7 @@ from repro.analysis.checks.kernels import KernelChecker
 from repro.analysis.checks.locks import LockChecker
 from repro.analysis.checks.procs import ProcessChecker
 from repro.analysis.checks.rng import RngChecker
+from repro.analysis.checks.service import ServiceChecker
 from repro.analysis.checks.telemetry import TelemetryChecker
 from repro.analysis.checks.threads import ThreadChecker
 
@@ -22,6 +23,7 @@ __all__ = [
     "LockChecker",
     "ProcessChecker",
     "RngChecker",
+    "ServiceChecker",
     "TelemetryChecker",
     "ThreadChecker",
 ]

@@ -1,0 +1,99 @@
+"""Shared-memory discipline: segments live and die in ``repro.service.shm``.
+
+A ``multiprocessing.shared_memory`` segment is an OS object, not a Python
+one: created anywhere and leaked on a crash it survives the interpreter (and
+every test run after it) until reboot.  The serving tier therefore funnels
+the entire lifecycle through one module — :mod:`repro.service.shm` — which
+tracks every created segment (:func:`~repro.service.shm.created_segments`),
+suppresses the pre-3.13 attach-side resource-tracker registration, and owns
+the single unlink path.
+
+``SVC001`` flags, in any ``repro`` module other than the sanctioned
+lifecycle module:
+
+* ``SharedMemory(...)`` construction (creating *or* ad-hoc attaching — both
+  must go through the helpers, since raw attaches re-introduce the
+  resource-tracker unlink-at-exit footgun the helpers exist to hide);
+* ``.unlink()`` calls in modules that import ``shared_memory`` machinery
+  (releasing a segment out-of-band would break the pool's ack-gated
+  generation reaping and the leak accounting).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    Checker,
+    ModuleContext,
+    Rule,
+    attribute_chain,
+    register_checker,
+)
+
+__all__ = ["ServiceChecker"]
+
+#: The one module allowed to create/attach/unlink shared-memory segments.
+_LIFECYCLE_MODULE = "repro.service.shm"
+
+
+@register_checker
+class ServiceChecker(Checker):
+    name = "service"
+    RULES = (
+        Rule(
+            "SVC001",
+            "shared-memory segment managed outside repro.service.shm",
+            "multiprocessing.shared_memory segments may only be created, "
+            "attached or unlinked through the repro.service.shm lifecycle "
+            "helpers (SharedSnapshot.create / attach / SharedSnapshot.unlink) "
+            "— they track ownership for leak accounting and hide the "
+            "pre-3.13 resource-tracker attach footgun",
+        ),
+    )
+
+    def begin_module(self, ctx: ModuleContext) -> None:
+        self._active = ctx.module != _LIFECYCLE_MODULE
+        #: Whether this module touches the shared_memory machinery at all
+        #: (import-based; gates the .unlink() heuristic so unrelated
+        #: ``path.unlink()`` file calls never trip the rule).
+        self._imports_shared_memory = False
+
+    def visit_Import(self, node: ast.Import, ctx: ModuleContext) -> None:
+        for alias in node.names:
+            if alias.name.startswith("multiprocessing.shared_memory"):
+                self._imports_shared_memory = True
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx: ModuleContext) -> None:
+        module = node.module or ""
+        if module.startswith("multiprocessing.shared_memory"):
+            self._imports_shared_memory = True
+        if module == "multiprocessing" and any(
+            alias.name == "shared_memory" for alias in node.names
+        ):
+            self._imports_shared_memory = True
+
+    # -------------------------------------------------------------- #
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        if not self._active:
+            return
+        name = attribute_chain(node.func)
+        if name is None:
+            return
+        last = name.split(".")[-1]
+        if last == "SharedMemory":
+            ctx.report(
+                "SVC001",
+                node,
+                f"`{name}(...)` manages a shared-memory segment outside "
+                f"{_LIFECYCLE_MODULE} — go through SharedSnapshot.create / "
+                f"attach instead",
+            )
+        elif last == "unlink" and self._imports_shared_memory:
+            ctx.report(
+                "SVC001",
+                node,
+                f"`{name}()` in a module using multiprocessing.shared_memory "
+                f"— segments are released only by SharedSnapshot.unlink in "
+                f"{_LIFECYCLE_MODULE}",
+            )

@@ -22,9 +22,12 @@ Four subcommands ride the :class:`~repro.api.estimator.LDA` facade:
 
 ``serve``
     Answer θ queries from a saved model (or a persisted registry) through
-    the micro-batching topic server::
+    the micro-batching topic server, or — with ``--http`` — over the network
+    through the `repro.service` shared-memory worker pool::
 
         python -m repro serve --model model.npz --input queries.txt
+        python -m repro serve --model model.npz --http 127.0.0.1:8080 \\
+            --http-workers 4
 
 ``eval``
     Held-out perplexity of a saved model on a corpus source or a document
@@ -385,7 +388,63 @@ def _load_model(args: argparse.Namespace) -> LDA:
         ))
 
 
+def _serve_http(args: argparse.Namespace) -> int:
+    """``serve --http``: network serving through `repro.service`."""
+    from repro.service import ServiceConfig, TopicService, parse_http_address
+
+    if (args.model is None) == (getattr(args, "registry_dir", None) is None):
+        raise SystemExit("pass exactly one of --model or --registry-dir")
+    host, port = parse_http_address(args.http)
+    snapshot = None
+    registry = None
+    if args.model is not None:
+        from repro.serving.snapshot import ModelSnapshot
+
+        snapshot = ModelSnapshot.load(args.model)
+    else:
+        from repro.streaming.registry import ModelRegistry
+
+        registry = ModelRegistry.open(args.registry_dir)
+        if registry.current() is None:
+            raise SystemExit(
+                f"registry {args.registry_dir} has no published version"
+            )
+    config = ServiceConfig(
+        host=host,
+        port=port,
+        num_workers=args.http_workers,
+        max_pending=args.max_pending,
+        request_timeout=args.request_timeout,
+        strategy=args.strategy,
+        seed=args.seed if args.seed is not None else 0,
+        max_batch_size=args.max_batch_size,
+    )
+    with _serving_telemetry(args.telemetry) as session:
+        service = TopicService(
+            snapshot=snapshot, registry=registry, config=config, telemetry=session
+        )
+        service.start()
+        try:
+            described = service._snapshot
+            print(
+                f"serving K={described.num_topics} V={described.vocabulary_size} "
+                f"on {service.url} ({config.num_workers} workers, "
+                f"max_pending={config.max_pending})",
+                flush=True,
+            )
+            print(
+                "endpoints: POST /infer  GET /top-topics /healthz /stats /metrics",
+                flush=True,
+            )
+            service.serve_forever()
+        finally:
+            service.close()
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.http is not None:
+        return _serve_http(args)
     model = _load_model(args)
     snapshot = model.export_snapshot()
     print(
@@ -488,6 +547,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, help="seed for --strategy mh")
     serve.add_argument("--max-batch-size", type=int, default=64)
     serve.add_argument("--top-words", type=int, default=8)
+    serve.add_argument(
+        "--http", metavar="HOST:PORT",
+        help="serve over HTTP through the repro.service worker pool "
+             "(e.g. 127.0.0.1:8080; port 0 binds an ephemeral port)",
+    )
+    serve.add_argument(
+        "--http-workers", type=int, default=2, metavar="N",
+        help="[--http] worker processes sharing one snapshot copy",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=64, metavar="N",
+        help="[--http] admission-control bound; excess load is shed with 503",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="[--http] per-request timeout before a 504 answer",
+    )
     serve.add_argument(
         "--telemetry", type=Path, metavar="PATH",
         help="write a repro.obs JSONL trace of the serving calls here",

@@ -53,6 +53,7 @@ from repro.api.spec import SPEC_METADATA_KEY, ModelSpec
 
 if TYPE_CHECKING:  # heavy layers stay lazy at runtime (PR 5 guarantee)
     from repro.corpus.corpus import Corpus
+    from repro.service.http import TopicService
     from repro.serving.infer import InferenceEngine
     from repro.serving.server import TopicServer
     from repro.serving.snapshot import ModelSnapshot
@@ -459,8 +460,9 @@ class LDA:
         num_mh_steps: int = 2,
         seed: Optional[int] = None,
         follow_registry: bool = True,
+        http: Optional[Any] = None,
         **server_kwargs: Any,
-    ) -> "TopicServer":
+    ) -> Union["TopicServer", "TopicService"]:
         """Stand up a :class:`~repro.serving.server.TopicServer` on this model.
 
         On the online backend (with ``follow_registry=True``) the server
@@ -469,8 +471,42 @@ class LDA:
         frozen export of the current model.  ``server_kwargs`` reach the
         :class:`~repro.serving.server.TopicServer` constructor
         (``max_batch_size``, ``cache_capacity``).
+
+        With ``http="HOST:PORT"`` (or a bare port) the model is served over
+        the network instead: a **started**
+        :class:`~repro.service.http.TopicService` — an asyncio HTTP front
+        end over a pool of worker processes sharing one snapshot copy — is
+        returned (close it, or use it as a context manager).  In that mode
+        ``server_kwargs`` reach :class:`~repro.service.http.ServiceConfig`
+        (``num_workers``, ``max_pending``, ``request_timeout``, ...), and a
+        registry-backed model hot-swaps across the whole pool.
         """
         self._require_fitted("serve")
+        if http is not None:
+            from repro.service.http import ServiceConfig as _ServiceConfig
+            from repro.service.http import TopicService as _TopicService
+            from repro.service.http import parse_http_address
+
+            host, port = parse_http_address(http)
+            config = _ServiceConfig(
+                host=host,
+                port=port,
+                strategy=strategy,
+                num_iterations=num_iterations,
+                num_mh_steps=num_mh_steps,
+                seed=seed if seed is not None else 0,
+                **server_kwargs,
+            )
+            registry = (
+                self._registry
+                if follow_registry and self._registry is not None
+                else None
+            )
+            return _TopicService(
+                snapshot=self.export_snapshot(),
+                registry=registry,
+                config=config,
+            ).start()
         from repro.serving.server import TopicServer
 
         following = follow_registry and self._registry is not None

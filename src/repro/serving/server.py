@@ -276,6 +276,7 @@ class TopicServer:
         self.cache = LRUCache(cache_capacity)
         self.stats_ = ServerStats()
         self._queue: List[np.ndarray] = []
+        self._closed = False
         self._registry: Optional[ModelRegistry] = None
         #: Registry version currently served (``None`` = the engine the
         #: server was constructed with, or no registry attached).
@@ -379,6 +380,7 @@ class TopicServer:
 
     def submit(self, document: DocumentLike) -> int:
         """Enqueue one request; returns its index into the next :meth:`flush`."""
+        self._ensure_open()
         self._queue.append(self._encode_one(document))
         return len(self._queue) - 1
 
@@ -393,12 +395,54 @@ class TopicServer:
         Returns the ``pending x K`` θ matrix, rows aligned with the indices
         returned by :meth:`submit`.
         """
+        self._ensure_open()
         queue, self._queue = self._queue, []
         return self._serve(queue)
 
     def infer_batch(self, documents: Sequence[DocumentLike]) -> np.ndarray:
         """Serve a ready batch of requests in one call (queue bypassed)."""
+        self._ensure_open()
         return self._serve([self._encode_one(doc) for doc in documents])
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; a closed server rejects requests."""
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("TopicServer is closed")
+
+    def close(self) -> Optional[np.ndarray]:
+        """Shut the server down, **draining** queued requests first.
+
+        Requests accepted by :meth:`submit` are promises: a shutdown must
+        answer them, not drop them (the `repro.service` worker pool relies on
+        this when recycling a worker mid-swap — whatever the worker queued is
+        served on the outgoing snapshot before the process moves on).  The
+        drained ``pending x K`` θ matrix is returned, rows aligned with the
+        indices :meth:`submit` handed out; ``None`` when nothing was queued.
+        Closing detaches any registry and is idempotent; subsequent
+        :meth:`submit` / :meth:`flush` / :meth:`infer_batch` calls raise
+        :class:`RuntimeError`.
+        """
+        if self._closed:
+            return None
+        drained: Optional[np.ndarray] = None
+        if self._queue:
+            drained = self.flush()
+        self._registry = None
+        self._closed = True
+        return drained
+
+    def __enter__(self) -> "TopicServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Serving core

@@ -174,6 +174,60 @@ class ModelSnapshot:
             metadata=metadata,
         )
 
+    @classmethod
+    def adopt(
+        cls,
+        phi: np.ndarray,
+        alpha: np.ndarray,
+        beta: float,
+        vocabulary: Vocabulary,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> "ModelSnapshot":
+        """Wrap already-frozen arrays into a snapshot **without copying**.
+
+        The constructor's defensive ``np.array(..., copy=True)`` is what makes
+        ordinary snapshots safe to hand around, but it defeats shared-memory
+        serving: a worker attaching the one phi copy in a
+        ``multiprocessing.shared_memory`` segment must keep its θ math backed
+        by that buffer, not a private duplicate.  ``adopt`` is that zero-copy
+        path.  The caller vouches for the distributional invariants (the
+        arrays come from a snapshot that already validated them); this method
+        still enforces the *structural* contract so an adopted snapshot is
+        indistinguishable from a constructed one:
+
+        * ``phi`` is a read-only float64 ``K x V`` matrix;
+        * ``alpha`` is a read-only float64 length-``K`` vector;
+        * ``beta`` is positive and ``V`` matches the vocabulary.
+        """
+        phi = np.asarray(phi)
+        alpha = np.asarray(alpha)
+        if phi.ndim != 2 or phi.dtype != np.float64:
+            raise ValueError(
+                f"adopt requires a float64 K x V phi, got {phi.dtype} {phi.shape}"
+            )
+        num_topics, vocab_size = phi.shape
+        if alpha.shape != (num_topics,) or alpha.dtype != np.float64:
+            raise ValueError(
+                f"adopt requires a float64 length-{num_topics} alpha, got "
+                f"{alpha.dtype} {alpha.shape}"
+            )
+        if phi.flags.writeable or alpha.flags.writeable:
+            raise ValueError("adopt requires read-only arrays (writeable=False)")
+        if vocab_size != vocabulary.size:
+            raise ValueError(
+                f"phi has {vocab_size} columns but the vocabulary has "
+                f"{vocabulary.size} words"
+            )
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        snapshot = object.__new__(cls)
+        snapshot._phi = phi
+        snapshot._alpha = alpha
+        snapshot._beta = float(beta)
+        snapshot._vocabulary = vocabulary if vocabulary.frozen else Vocabulary(vocabulary.words()).freeze()
+        snapshot._metadata = dict(metadata) if metadata else {}
+        return snapshot
+
     def with_metadata(self, **extra: Any) -> "ModelSnapshot":
         """Return a copy of this snapshot with extra provenance merged in.
 

@@ -519,6 +519,76 @@ class TestThreadRules:
 
 
 # --------------------------------------------------------------------- #
+# Shared-memory discipline
+# --------------------------------------------------------------------- #
+class TestServiceRules:
+    def test_svc001_create_outside_lifecycle_module_fires(self):
+        findings = run_linter(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def stash(nbytes):
+                return SharedMemory(create=True, size=nbytes)
+            """,
+            module="repro.streaming.stash",
+        )
+        assert codes(findings) == ["SVC001"]
+
+    def test_svc001_adhoc_attach_in_service_tier_fires(self):
+        findings = run_linter(
+            """
+            from multiprocessing import shared_memory
+
+            def peek(name):
+                return shared_memory.SharedMemory(name=name, create=False)
+            """,
+            module="repro.service.pool",
+        )
+        assert codes(findings) == ["SVC001"]
+
+    def test_svc001_unlink_with_shared_memory_import_fires(self):
+        findings = run_linter(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def release(segment):
+                segment.unlink()
+            """,
+            module="repro.service.pool",
+        )
+        assert codes(findings) == ["SVC001"]
+
+    def test_svc001_lifecycle_module_is_exempt(self):
+        findings = run_linter(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def create(nbytes):
+                segment = SharedMemory(create=True, size=nbytes)
+                return segment
+
+            def release(segment):
+                segment.close()
+                segment.unlink()
+            """,
+            module="repro.service.shm",
+        )
+        assert findings == []
+
+    def test_svc001_path_unlink_without_shared_memory_is_silent(self):
+        findings = run_linter(
+            """
+            from pathlib import Path
+
+            def cleanup(path):
+                Path(path).unlink()
+            """,
+            module="repro.streaming.registry",
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
 # API hygiene
 # --------------------------------------------------------------------- #
 class TestApiRules:

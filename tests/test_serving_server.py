@@ -188,3 +188,47 @@ class TestStats:
     def test_invalid_batch_size_rejected(self, engine):
         with pytest.raises(ValueError):
             TopicServer(engine, max_batch_size=0)
+
+
+class TestClose:
+    def test_close_drains_pending_submissions(self, engine, small_corpus):
+        server = TopicServer(engine, max_batch_size=4)
+        documents = [small_corpus.document_words(i) for i in range(3)]
+        expected = engine.infer_ids(documents)
+        for document in documents:
+            server.submit(document)
+        drained = server.close()
+        # The shutdown promise: everything submitted is answered, not dropped.
+        np.testing.assert_allclose(drained, expected)
+        assert server.pending == 0
+        assert server.closed
+        assert server.stats().requests == len(documents)
+
+    def test_close_with_empty_queue_returns_none(self, engine):
+        server = TopicServer(engine)
+        assert server.close() is None
+        assert server.closed
+
+    def test_close_is_idempotent(self, engine, small_corpus):
+        server = TopicServer(engine)
+        server.submit(small_corpus.document_words(0))
+        assert server.close() is not None
+        assert server.close() is None
+
+    def test_closed_server_rejects_requests(self, engine, small_corpus):
+        server = TopicServer(engine)
+        server.close()
+        document = small_corpus.document_words(0)
+        with pytest.raises(RuntimeError, match="closed"):
+            server.submit(document)
+        with pytest.raises(RuntimeError, match="closed"):
+            server.flush()
+        with pytest.raises(RuntimeError, match="closed"):
+            server.infer_batch([document])
+
+    def test_context_manager_closes_and_drains(self, engine, small_corpus):
+        with TopicServer(engine) as server:
+            server.submit(small_corpus.document_words(0))
+        assert server.closed
+        # The queued request was served (drained), not dropped.
+        assert server.stats().requests == 1
