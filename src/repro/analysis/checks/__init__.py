@@ -11,6 +11,7 @@ decorator).  Third-party checkers register the same way: subclass
 from repro.analysis.checks.api import ApiChecker
 from repro.analysis.checks.kernels import KernelChecker
 from repro.analysis.checks.locks import LockChecker
+from repro.analysis.checks.ooc import OutOfCoreChecker
 from repro.analysis.checks.procs import ProcessChecker
 from repro.analysis.checks.rng import RngChecker
 from repro.analysis.checks.service import ServiceChecker
@@ -21,6 +22,7 @@ __all__ = [
     "ApiChecker",
     "KernelChecker",
     "LockChecker",
+    "OutOfCoreChecker",
     "ProcessChecker",
     "RngChecker",
     "ServiceChecker",

@@ -1,0 +1,75 @@
+"""Out-of-core discipline: corpus arrays open memory-mapped, or not at all.
+
+* ``OOC001`` — inside :mod:`repro.corpus`, every ``np.load`` must pass a
+  non-``None`` ``mmap_mode``.  The store layer's whole guarantee is that a
+  corpus file never materialises on open; one bare ``np.load`` on a store
+  path silently re-introduces an O(corpus) allocation that no unit test on
+  laptop-sized fixtures will ever notice.  ``np.lib.format.open_memmap`` —
+  the writer's chunked-output primitive — is the sanctioned alternative and
+  is not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.core import (
+    Checker,
+    ModuleContext,
+    Rule,
+    attribute_chain,
+    register_checker,
+)
+
+__all__ = ["OutOfCoreChecker"]
+
+#: The package whose file-opening discipline the rule enforces.
+_STORE_PACKAGE = "repro.corpus"
+
+_LOAD_CALLS = {"np.load", "numpy.load"}
+
+
+def _is_store_module(module: str) -> bool:
+    return module == _STORE_PACKAGE or module.startswith(_STORE_PACKAGE + ".")
+
+
+def _mmap_mode_argument(node: ast.Call) -> Optional[ast.expr]:
+    for keyword in node.keywords:
+        if keyword.arg == "mmap_mode":
+            return keyword.value
+    if len(node.args) >= 2:  # np.load(file, mmap_mode, ...)
+        return node.args[1]
+    return None
+
+
+@register_checker
+class OutOfCoreChecker(Checker):
+    name = "ooc"
+    RULES = (
+        Rule(
+            "OOC001",
+            "bare np.load in repro.corpus (no mmap_mode)",
+            "corpus files may only be opened through the store layer's "
+            "memory-mapped path: np.load without mmap_mode materialises the "
+            "whole array, which on a real store is an O(corpus) allocation "
+            "the out-of-core guarantee forbids",
+        ),
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        if not _is_store_module(ctx.module):
+            return
+        if attribute_chain(node.func) not in _LOAD_CALLS:
+            return
+        mode = _mmap_mode_argument(node)
+        if mode is None or (
+            isinstance(mode, ast.Constant) and mode.value is None
+        ):
+            ctx.report(
+                "OOC001",
+                node,
+                "np.load without mmap_mode materialises the file — open "
+                "corpus arrays via repro.corpus.store (np.load(..., "
+                "mmap_mode='r')) or write through open_memmap",
+            )

@@ -69,6 +69,13 @@ def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
     source.add_argument("--corpus", type=Path, help="UCI docword file (.txt or .gz)")
     source.add_argument("--vocab-file", type=Path, help="UCI vocab file for --corpus")
     source.add_argument(
+        "--corpus-store",
+        type=Path,
+        metavar="DIR",
+        help="on-disk corpus store directory (repro.corpus.store): opened "
+        "memory-mapped, so the corpus never fully materialises in RAM",
+    )
+    source.add_argument(
         "--preset",
         choices=sorted(DATASET_PRESETS),
         help="synthetic preset calibrated to the paper's Table 3",
@@ -93,14 +100,26 @@ def corpus_from_args(args: argparse.Namespace) -> "Corpus":
     from repro.corpus.synthetic import SyntheticCorpusSpec, generate_lda_corpus
     from repro.corpus.uci import read_uci_bow
 
+    corpus_store = getattr(args, "corpus_store", None)
     chosen = sum(
-        1 for flag in (args.corpus is not None, args.preset is not None, args.synthetic)
+        1
+        for flag in (
+            args.corpus is not None,
+            corpus_store is not None,
+            args.preset is not None,
+            args.synthetic,
+        )
         if flag
     )
     if chosen != 1:
         raise SystemExit(
-            "choose exactly one corpus source: --corpus, --preset or --synthetic"
+            "choose exactly one corpus source: --corpus, --corpus-store, "
+            "--preset or --synthetic"
         )
+    if corpus_store is not None:
+        from repro.corpus.store import open_store
+
+        return open_store(corpus_store)
     if args.corpus is not None:
         return read_uci_bow(args.corpus, vocab_path=args.vocab_file)
     if args.preset is not None:

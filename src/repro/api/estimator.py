@@ -229,7 +229,7 @@ class LDA:
     # ------------------------------------------------------------------ #
     def fit(
         self,
-        corpus: "Corpus",
+        corpus: Union["Corpus", str, Path],
         num_iterations: int = 50,
         tracker: Optional[Any] = None,
     ) -> "LDA":
@@ -243,8 +243,19 @@ class LDA:
         ``tracker`` do not apply), so a streaming spec still answers the
         batch call.  Repeated ``fit`` calls on the same corpus continue the
         same chain; a new corpus builds a fresh engine.
+
+        ``corpus`` may also be the path of an on-disk corpus store
+        (:mod:`repro.corpus.store`): it is opened memory-mapped and trains
+        bit-identically to the equivalent in-RAM corpus, without it ever
+        fully materialising.  A path is reopened on every call, so repeated
+        ``fit`` calls that should continue one chain should open the store
+        once and pass the :class:`~repro.corpus.store.MappedCorpus`.
         """
         self._check_open()
+        if isinstance(corpus, (str, Path)):
+            from repro.corpus.store import open_store
+
+            corpus = open_store(corpus)
         if self.spec.backend == "online":
             for batch in iter_token_batches(corpus, self.batch_docs):
                 self.partial_fit(batch)

@@ -1,14 +1,18 @@
 """Corpus substrate: documents, vocabularies, formats and generators.
 
 The paper evaluates on NYTimes and PubMed (UCI bag-of-words format) and on
-ClueWeb12 crawls.  Those corpora are not redistributable, so this package
-provides
+ClueWeb12 crawls.  Those corpora are not redistributable in this repo, so
+this package provides
 
 * the data model (:class:`~repro.corpus.corpus.Corpus`,
   :class:`~repro.corpus.corpus.Document`,
   :class:`~repro.corpus.vocabulary.Vocabulary`),
 * a reader/writer for the UCI bag-of-words format
-  (:mod:`repro.corpus.uci`) so real corpora drop in unchanged,
+  (:mod:`repro.corpus.uci`) so real corpora drop in unchanged — including
+  cached, checksummed fetchers for the real UCI NYTimes/PubMed files
+  (:mod:`repro.corpus.datasets`, cache root ``$REPRO_DATA_DIR``),
+* an on-disk, memory-mapped corpus store (:mod:`repro.corpus.store`) so
+  corpora larger than RAM train through the same :class:`Corpus` interface,
 * a plain-text tokenizer mirroring the paper's ClueWeb12 preprocessing
   (:mod:`repro.corpus.tokenize`), and
 * synthetic generators (:mod:`repro.corpus.synthetic`) plus presets calibrated
@@ -16,15 +20,31 @@ provides
 """
 
 from repro.corpus.corpus import Corpus, Document
-from repro.corpus.datasets import DATASET_PRESETS, DatasetPreset, load_preset
+from repro.corpus.datasets import (
+    DATASET_PRESETS,
+    DatasetPreset,
+    UCI_DATASETS,
+    data_dir,
+    fetch_uci_dataset,
+    load_preset,
+    load_uci_dataset,
+    uci_dataset_store,
+)
 from repro.corpus.stats import CorpusStatistics
+from repro.corpus.store import (
+    MappedCorpus,
+    StoreWriter,
+    iter_store_documents,
+    open_store,
+    write_store,
+)
 from repro.corpus.synthetic import (
     SyntheticCorpusSpec,
     generate_lda_corpus,
     generate_zipf_corpus,
 )
 from repro.corpus.tokenize import simple_tokenize
-from repro.corpus.uci import read_uci_bow, write_uci_bow
+from repro.corpus.uci import read_uci_bow, uci_to_store, write_uci_bow
 from repro.corpus.vocabulary import Vocabulary
 
 __all__ = [
@@ -33,12 +53,23 @@ __all__ = [
     "DATASET_PRESETS",
     "DatasetPreset",
     "Document",
+    "MappedCorpus",
+    "StoreWriter",
     "SyntheticCorpusSpec",
+    "UCI_DATASETS",
     "Vocabulary",
+    "data_dir",
+    "fetch_uci_dataset",
     "generate_lda_corpus",
     "generate_zipf_corpus",
+    "iter_store_documents",
     "load_preset",
+    "load_uci_dataset",
+    "open_store",
     "read_uci_bow",
     "simple_tokenize",
+    "uci_dataset_store",
+    "uci_to_store",
+    "write_store",
     "write_uci_bow",
 ]

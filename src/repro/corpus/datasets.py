@@ -21,8 +21,12 @@ so the Table 3 bench can print both side by side.
 
 from __future__ import annotations
 
+import hashlib
+import os
+import shutil
 from dataclasses import dataclass
-from typing import Dict, Optional
+from pathlib import Path
+from typing import BinaryIO, Callable, Dict, Optional, Tuple, Union
 
 from repro.corpus.corpus import Corpus
 from repro.corpus.synthetic import (
@@ -32,7 +36,19 @@ from repro.corpus.synthetic import (
 )
 from repro.sampling.rng import RngLike, seed_from_deprecated_rng
 
-__all__ = ["DatasetPreset", "DATASET_PRESETS", "load_preset"]
+__all__ = [
+    "DATASET_PRESETS",
+    "DatasetPreset",
+    "RemoteFile",
+    "UCI_DATASETS",
+    "UCIDataset",
+    "data_dir",
+    "fetch_remote",
+    "fetch_uci_dataset",
+    "load_preset",
+    "load_uci_dataset",
+    "uci_dataset_store",
+]
 
 
 @dataclass(frozen=True)
@@ -148,3 +164,241 @@ def load_preset(
         known = ", ".join(sorted(DATASET_PRESETS))
         raise KeyError(f"unknown dataset preset {name!r}; known presets: {known}") from None
     return preset.generate(scale=scale, seed=seed)
+
+
+# --------------------------------------------------------------------- #
+# Real UCI datasets: cached, checksummed downloads
+# --------------------------------------------------------------------- #
+#: Environment variable overriding the download cache root.
+DATA_DIR_ENV = "REPRO_DATA_DIR"
+
+#: A callable opening a URL and returning a readable binary stream — the
+#: injection point the offline tests use in place of ``urllib``.
+Opener = Callable[[str], BinaryIO]
+
+_DOWNLOAD_CHUNK = 1 << 20
+
+
+def data_dir() -> Path:
+    """The dataset cache root: ``$REPRO_DATA_DIR`` or ``~/.cache/repro``.
+
+    Resolved at call time, so tests (and batch jobs redirecting large
+    downloads to scratch space) can point it anywhere via the environment.
+    """
+    override = os.environ.get(DATA_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+@dataclass(frozen=True)
+class RemoteFile:
+    """One cacheable download.
+
+    ``sha256`` pins the expected digest when known.  The UCI repository
+    publishes no digests, so the bundled datasets leave it ``None`` and the
+    cache falls back to trust-on-first-use: the digest observed at download
+    time is recorded in a ``<filename>.sha256`` sidecar and every later
+    cache hit is re-verified against it — a truncated or partially written
+    file is detected and re-fetched instead of silently parsed.
+    """
+
+    filename: str
+    url: str
+    sha256: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class UCIDataset:
+    """One UCI bag-of-words dataset: the docword file plus its vocabulary."""
+
+    name: str
+    docword: RemoteFile
+    vocab: RemoteFile
+
+
+_UCI_BASE = (
+    "https://archive.ics.uci.edu/ml/machine-learning-databases/bag-of-words/"
+)
+
+#: The paper's single-machine corpora (Table 3), as distributed by UCI.
+UCI_DATASETS: Dict[str, UCIDataset] = {
+    "nytimes": UCIDataset(
+        name="nytimes",
+        docword=RemoteFile(
+            "docword.nytimes.txt.gz", _UCI_BASE + "docword.nytimes.txt.gz"
+        ),
+        vocab=RemoteFile("vocab.nytimes.txt", _UCI_BASE + "vocab.nytimes.txt"),
+    ),
+    "pubmed": UCIDataset(
+        name="pubmed",
+        docword=RemoteFile(
+            "docword.pubmed.txt.gz", _UCI_BASE + "docword.pubmed.txt.gz"
+        ),
+        vocab=RemoteFile("vocab.pubmed.txt", _UCI_BASE + "vocab.pubmed.txt"),
+    ),
+}
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(_DOWNLOAD_CHUNK), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _default_opener(url: str) -> BinaryIO:
+    import urllib.request
+
+    return urllib.request.urlopen(url, timeout=60)  # noqa: S310 - https only
+
+
+def fetch_remote(
+    remote: RemoteFile,
+    directory: Optional[Union[str, Path]] = None,
+    *,
+    opener: Optional[Opener] = None,
+    force: bool = False,
+) -> Path:
+    """Download ``remote`` into the cache (or verify the cached copy).
+
+    The download streams to ``<filename>.part`` and is renamed into place
+    only after the checksum is settled, so a crash mid-download never leaves
+    a file the next run would mistake for complete; a stale ``.part`` from
+    such a crash is simply overwritten.  A cached file that fails
+    verification (pinned ``sha256`` or the trust-on-first-use sidecar) is
+    re-downloaded, not trusted.
+
+    Parameters
+    ----------
+    remote:
+        What to fetch.
+    directory:
+        Cache directory (default :func:`data_dir`).
+    opener:
+        URL opener returning a binary stream; injectable for offline tests.
+    force:
+        Re-download even if the cached copy verifies.
+    """
+    directory = Path(directory) if directory is not None else data_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    target = directory / remote.filename
+    sidecar = directory / (remote.filename + ".sha256")
+
+    if target.exists() and not force:
+        observed = _sha256_file(target)
+        expected = remote.sha256
+        if expected is None and sidecar.exists():
+            expected = sidecar.read_text(encoding="utf-8").strip() or None
+        if expected is None:
+            # Manually placed file with no record: adopt it (trust on first
+            # use) so offline-populated caches work without a network.
+            sidecar.write_text(observed + "\n", encoding="utf-8")
+            return target
+        if observed == expected:
+            return target
+        # Stale or partial: fall through to a fresh download.
+
+    if opener is None:
+        opener = _default_opener
+    part = directory / (remote.filename + ".part")
+    digest = hashlib.sha256()
+    try:
+        with opener(remote.url) as source, open(part, "wb") as sink:
+            for block in iter(lambda: source.read(_DOWNLOAD_CHUNK), b""):
+                digest.update(block)
+                sink.write(block)
+    except OSError as exc:
+        if part.exists():
+            part.unlink()
+        raise OSError(
+            f"failed to download {remote.url}: {exc}; for offline use, place "
+            f"the file at {target} yourself (cache root overridable via "
+            f"${DATA_DIR_ENV})"
+        ) from exc
+    observed = digest.hexdigest()
+    if remote.sha256 is not None and observed != remote.sha256:
+        part.unlink()
+        raise ValueError(
+            f"{remote.url}: checksum mismatch (expected {remote.sha256}, "
+            f"got {observed}) — refusing to cache a corrupt download"
+        )
+    os.replace(part, target)
+    sidecar.write_text(observed + "\n", encoding="utf-8")
+    return target
+
+
+def _uci_dataset(name: str) -> UCIDataset:
+    try:
+        return UCI_DATASETS[name]
+    except KeyError:
+        known = ", ".join(sorted(UCI_DATASETS))
+        raise KeyError(
+            f"unknown UCI dataset {name!r}; known datasets: {known}"
+        ) from None
+
+
+def fetch_uci_dataset(
+    name: str,
+    directory: Optional[Union[str, Path]] = None,
+    *,
+    opener: Optional[Opener] = None,
+    force: bool = False,
+) -> Tuple[Path, Path]:
+    """Fetch (or verify) one UCI dataset; returns ``(docword, vocab)`` paths."""
+    dataset = _uci_dataset(name)
+    docword = fetch_remote(dataset.docword, directory, opener=opener, force=force)
+    vocab = fetch_remote(dataset.vocab, directory, opener=opener, force=force)
+    return docword, vocab
+
+
+def load_uci_dataset(
+    name: str,
+    directory: Optional[Union[str, Path]] = None,
+    max_documents: Optional[int] = None,
+    *,
+    opener: Optional[Opener] = None,
+) -> Corpus:
+    """Fetch and parse one UCI dataset into an in-RAM :class:`Corpus`.
+
+    For the full-size corpora prefer :func:`uci_dataset_store`, which never
+    materialises the token array.
+    """
+    from repro.corpus.uci import read_uci_bow
+
+    docword, vocab = fetch_uci_dataset(name, directory, opener=opener)
+    return read_uci_bow(docword, vocab, max_documents=max_documents)
+
+
+def uci_dataset_store(
+    name: str,
+    directory: Optional[Union[str, Path]] = None,
+    max_documents: Optional[int] = None,
+    *,
+    opener: Optional[Opener] = None,
+    overwrite: bool = False,
+) -> Path:
+    """Fetch one UCI dataset and convert it to an on-disk corpus store.
+
+    The store lands under ``<cache>/stores/<name>`` (suffixed with the
+    document cap when one is given) and is reused on later calls, so the
+    conversion — like the download — happens once per cache.  Returns the
+    store directory, ready for
+    :func:`repro.corpus.store.open_store` or ``--corpus-store``.
+    """
+    from repro.corpus.store import MANIFEST_NAME
+    from repro.corpus.uci import uci_to_store
+
+    directory = Path(directory) if directory is not None else data_dir()
+    suffix = "" if max_documents is None else f"-first{max_documents}"
+    store_dir = directory / "stores" / (name + suffix)
+    if (store_dir / MANIFEST_NAME).exists() and not overwrite:
+        return store_dir
+    docword, vocab = fetch_uci_dataset(name, directory, opener=opener)
+    if store_dir.exists():
+        shutil.rmtree(store_dir)
+    uci_to_store(
+        docword, store_dir, vocab, max_documents=max_documents, overwrite=True
+    )
+    return store_dir

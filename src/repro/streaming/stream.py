@@ -14,11 +14,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Union
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.corpus.vocabulary import Vocabulary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.corpus.store import MappedCorpus
 
 __all__ = ["DocumentStream", "MiniBatch", "StreamStats"]
 
@@ -137,6 +141,7 @@ class DocumentStream:
         self._pending_ids: List[Optional[str]] = []
         self._pending_dropped = 0
         self._sequence = 0
+        self._replay_source: Optional[_StoreReplay] = None
 
     # ------------------------------------------------------------------ #
     def _encode(self, document: RawDocument) -> np.ndarray:
@@ -197,6 +202,59 @@ class DocumentStream:
         """Documents waiting for the current batch to fill."""
         return len(self._pending_docs)
 
+    @classmethod
+    def from_store(
+        cls,
+        store: Union[str, Path, "MappedCorpus"],
+        batch_docs: int = 64,
+        vocabulary: Optional[Vocabulary] = None,
+        on_oov: str = "add",
+    ) -> "DocumentStream":
+        """A stream that replays an on-disk corpus store as mini-batches.
+
+        The disk replay source for :mod:`repro.streaming`: documents are
+        read from the store in bounded chunks
+        (:func:`repro.corpus.store.iter_store_documents`), never via a full
+        ingestion, so replay memory stays flat in corpus size.  Drive it
+        with :meth:`replay`.
+
+        Parameters
+        ----------
+        store:
+            A store directory path or an already-open
+            :class:`~repro.corpus.store.MappedCorpus`.
+        batch_docs:
+            Documents per emitted :class:`MiniBatch`.
+        vocabulary:
+            ``None`` (default) seeds the stream with a fresh, unfrozen copy
+            of the store's vocabulary and pushes raw id arrays — the cheap
+            path, ids aligned with the store.  Passing a vocabulary (e.g. a
+            live online trainer's) instead replays *decoded words*, so the
+            target vocabulary performs its own growth or OOV policy.
+        on_oov:
+            Growth policy, as for the constructor.
+        """
+        from repro.corpus.store import MappedCorpus, open_store
+
+        corpus = store if isinstance(store, MappedCorpus) else open_store(store)
+        decode = vocabulary is not None
+        if vocabulary is None:
+            vocabulary = Vocabulary(corpus.vocabulary.words())
+        stream = cls(vocabulary, batch_docs=batch_docs, on_oov=on_oov)
+        stream._replay_source = _StoreReplay(corpus, decode=decode)
+        return stream
+
+    def replay(self) -> Iterator[MiniBatch]:
+        """Yield every mini-batch of the attached store replay (one-shot)."""
+        if self._replay_source is None:
+            raise ValueError(
+                "this stream has no replay source; build it with "
+                "DocumentStream.from_store(...)"
+            )
+        source = self._replay_source
+        self._replay_source = None
+        return self.batches(source)
+
     def batches(self, documents: Iterable[RawDocument]) -> Iterator[MiniBatch]:
         """Drive the stream over an iterable, yielding every closed batch.
 
@@ -216,3 +274,26 @@ class DocumentStream:
             f"DocumentStream(batch_docs={self.batch_docs}, on_oov={self.on_oov!r}, "
             f"pending={self.pending}, V={self.vocabulary.size})"
         )
+
+
+class _StoreReplay:
+    """Bounded-memory document source over a mapped corpus store.
+
+    Yields raw id arrays (``decode=False``) or decoded token lists
+    (``decode=True``); either way the underlying reads are chunked
+    ``np.fromfile`` calls, so iteration never pages the store into residency.
+    """
+
+    def __init__(self, corpus: "MappedCorpus", decode: bool) -> None:
+        self._corpus = corpus
+        self._decode = decode
+
+    def __iter__(self) -> Iterator[RawDocument]:
+        from repro.corpus.store import iter_store_documents
+
+        vocabulary = self._corpus.vocabulary
+        for word_ids in iter_store_documents(self._corpus):
+            if self._decode:
+                yield [vocabulary.word(int(w)) for w in word_ids]
+            else:
+                yield word_ids

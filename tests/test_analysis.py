@@ -703,6 +703,69 @@ class TestApiRules:
 # --------------------------------------------------------------------- #
 # Suppressions
 # --------------------------------------------------------------------- #
+class TestOutOfCoreRules:
+    def test_ooc001_bare_np_load_in_corpus_fires(self):
+        findings = run_linter(
+            """
+            import numpy as np
+
+            def open_tokens(path):
+                return np.load(path)
+            """,
+            module="repro.corpus.store",
+        )
+        assert codes(findings) == ["OOC001"]
+        assert "mmap_mode" in findings[0].message
+
+    def test_ooc001_explicit_none_mmap_mode_fires(self):
+        findings = run_linter(
+            """
+            import numpy as np
+
+            def open_tokens(path):
+                return np.load(path, mmap_mode=None)
+            """,
+            module="repro.corpus.uci",
+        )
+        assert codes(findings) == ["OOC001"]
+
+    def test_ooc001_clean_mapped_load(self):
+        findings = run_linter(
+            """
+            import numpy as np
+
+            def open_tokens(path):
+                return np.load(path, mmap_mode="r")
+            """,
+            module="repro.corpus.store",
+        )
+        assert findings == []
+
+    def test_ooc001_positional_mmap_mode_is_clean(self):
+        findings = run_linter(
+            """
+            import numpy as np
+
+            def open_tokens(path):
+                return np.load(path, "r")
+            """,
+            module="repro.corpus.store",
+        )
+        assert findings == []
+
+    def test_ooc001_silent_outside_corpus_package(self):
+        findings = run_linter(
+            """
+            import numpy as np
+
+            def load_model(path):
+                return np.load(path)
+            """,
+            module="repro.serving.snapshot",
+        )
+        assert findings == []
+
+
 class TestSuppressions:
     def test_noqa_suppresses_the_named_rule(self):
         findings = run_linter(
@@ -802,7 +865,7 @@ class TestCli:
     def test_list_rules_covers_every_family(self, capsys):
         assert analysis_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("RNG001", "OBS001", "KER001", "LOCK001", "MP001", "API001", "SUP001", "THR001"):
+        for code in ("RNG001", "OBS001", "KER001", "LOCK001", "MP001", "API001", "SUP001", "THR001", "OOC001"):
             assert code in out
 
     def test_shipped_baseline_is_empty(self):

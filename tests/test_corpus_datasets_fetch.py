@@ -1,0 +1,200 @@
+"""Tests for the UCI dataset fetchers (:mod:`repro.corpus.datasets`).
+
+No network: every test injects a fake ``opener`` and a temp cache
+directory, exercising the cache/verify/re-download state machine —
+trust-on-first-use sidecars, stale and partial download recovery, pinned
+checksum enforcement, and the ``$REPRO_DATA_DIR`` override.
+"""
+
+import gzip
+import hashlib
+import io
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.corpus import open_store
+from repro.corpus.datasets import (
+    DATA_DIR_ENV,
+    RemoteFile,
+    UCIDataset,
+    UCI_DATASETS,
+    data_dir,
+    fetch_remote,
+    fetch_uci_dataset,
+    load_uci_dataset,
+    uci_dataset_store,
+)
+
+PAYLOAD = b"3\n2\n4\n1 1 2\n1 2 1\n2 1 1\n3 2 3\n"
+VOCAB = b"apple\nbanana\n"
+
+
+def sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class CountingOpener:
+    """Fake URL opener serving canned bytes and counting downloads."""
+
+    def __init__(self, responses):
+        self.responses = dict(responses)
+        self.calls = []
+
+    def __call__(self, url):
+        self.calls.append(url)
+        try:
+            return io.BytesIO(self.responses[url])
+        except KeyError:
+            raise OSError(f"unreachable: {url}")
+
+
+@pytest.fixture
+def remote():
+    return RemoteFile(filename="docword.tiny.txt", url="http://x/docword.tiny.txt")
+
+
+@pytest.fixture
+def opener(remote):
+    return CountingOpener({remote.url: PAYLOAD})
+
+
+class TestDataDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(DATA_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert data_dir() == tmp_path / "elsewhere"
+
+    def test_default_under_home_cache(self, monkeypatch):
+        monkeypatch.delenv(DATA_DIR_ENV, raising=False)
+        assert data_dir() == Path("~/.cache/repro").expanduser()
+
+    def test_fetch_honours_env(self, monkeypatch, tmp_path, remote, opener):
+        monkeypatch.setenv(DATA_DIR_ENV, str(tmp_path / "cache"))
+        target = fetch_remote(remote, opener=opener)
+        assert target == tmp_path / "cache" / remote.filename
+        assert target.read_bytes() == PAYLOAD
+
+
+class TestFetchRemote:
+    def test_download_writes_file_and_sidecar(self, tmp_path, remote, opener):
+        target = fetch_remote(remote, tmp_path, opener=opener)
+        assert target.read_bytes() == PAYLOAD
+        sidecar = tmp_path / (remote.filename + ".sha256")
+        assert sidecar.read_text().strip() == sha(PAYLOAD)
+        assert not (tmp_path / (remote.filename + ".part")).exists()
+
+    def test_cache_hit_skips_opener(self, tmp_path, remote, opener):
+        fetch_remote(remote, tmp_path, opener=opener)
+        fetch_remote(remote, tmp_path, opener=opener)
+        assert len(opener.calls) == 1
+
+    def test_stale_cache_redownloaded(self, tmp_path, remote, opener):
+        target = fetch_remote(remote, tmp_path, opener=opener)
+        target.write_bytes(b"truncated")  # simulate a corrupted cache entry
+        fetch_remote(remote, tmp_path, opener=opener)
+        assert target.read_bytes() == PAYLOAD
+        assert len(opener.calls) == 2
+
+    def test_leftover_part_file_ignored(self, tmp_path, remote, opener):
+        (tmp_path / (remote.filename + ".part")).write_bytes(b"crashed here")
+        target = fetch_remote(remote, tmp_path, opener=opener)
+        assert target.read_bytes() == PAYLOAD
+        assert not (tmp_path / (remote.filename + ".part")).exists()
+
+    def test_manually_placed_file_adopted(self, tmp_path, remote, opener):
+        # Offline workflow: the user drops the file in place; first touch
+        # records its digest (trust on first use) without any download.
+        (tmp_path / remote.filename).write_bytes(PAYLOAD)
+        fetch_remote(remote, tmp_path, opener=opener)
+        assert opener.calls == []
+        sidecar = tmp_path / (remote.filename + ".sha256")
+        assert sidecar.read_text().strip() == sha(PAYLOAD)
+
+    def test_pinned_checksum_match(self, tmp_path, opener, remote):
+        pinned = RemoteFile(
+            filename=remote.filename, url=remote.url, sha256=sha(PAYLOAD)
+        )
+        target = fetch_remote(pinned, tmp_path, opener=opener)
+        assert target.read_bytes() == PAYLOAD
+
+    def test_pinned_checksum_mismatch_raises(self, tmp_path, opener, remote):
+        pinned = RemoteFile(
+            filename=remote.filename, url=remote.url, sha256="0" * 64
+        )
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            fetch_remote(pinned, tmp_path, opener=opener)
+        # The corrupt download must not be cached under any name.
+        assert not (tmp_path / remote.filename).exists()
+        assert not (tmp_path / (remote.filename + ".part")).exists()
+
+    def test_unreachable_url_mentions_offline_path(self, tmp_path, remote):
+        opener = CountingOpener({})
+        with pytest.raises(OSError, match="place the file at"):
+            fetch_remote(remote, tmp_path, opener=opener)
+
+    def test_force_redownloads(self, tmp_path, remote, opener):
+        fetch_remote(remote, tmp_path, opener=opener)
+        fetch_remote(remote, tmp_path, opener=opener, force=True)
+        assert len(opener.calls) == 2
+
+
+@pytest.fixture
+def tiny_dataset(monkeypatch):
+    docword = RemoteFile(
+        filename="docword.tiny.txt.gz", url="http://x/docword.tiny.txt.gz"
+    )
+    vocab = RemoteFile(filename="vocab.tiny.txt", url="http://x/vocab.tiny.txt")
+    dataset = UCIDataset(name="tiny", docword=docword, vocab=vocab)
+    monkeypatch.setitem(UCI_DATASETS, "tiny", dataset)
+    return CountingOpener(
+        {
+            docword.url: gzip.compress(PAYLOAD),
+            vocab.url: VOCAB,
+        }
+    )
+
+
+class TestUciDatasets:
+    def test_registry_has_paper_datasets(self):
+        assert {"nytimes", "pubmed"} <= set(UCI_DATASETS)
+        for dataset in UCI_DATASETS.values():
+            assert dataset.docword.filename.endswith(".txt.gz")
+            assert dataset.docword.url.startswith("https://")
+
+    def test_fetch_uci_dataset_returns_both_paths(self, tmp_path, tiny_dataset):
+        docword, vocab = fetch_uci_dataset(
+            "tiny", tmp_path, opener=tiny_dataset
+        )
+        assert docword.exists() and vocab.exists()
+
+    def test_unknown_dataset(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown UCI dataset"):
+            fetch_uci_dataset("notadataset", tmp_path)
+
+    def test_load_uci_dataset(self, tmp_path, tiny_dataset):
+        corpus = load_uci_dataset("tiny", tmp_path, opener=tiny_dataset)
+        assert corpus.num_documents == 3
+        assert corpus.num_tokens == 7
+        assert corpus.vocabulary.words() == ["apple", "banana"]
+
+    def test_uci_dataset_store_roundtrip_and_cache(self, tmp_path, tiny_dataset):
+        store_dir = uci_dataset_store("tiny", tmp_path, opener=tiny_dataset)
+        corpus = open_store(store_dir)
+        reference = load_uci_dataset("tiny", tmp_path, opener=tiny_dataset)
+        np.testing.assert_array_equal(
+            corpus.token_words, reference.token_words
+        )
+        assert corpus.vocabulary == reference.vocabulary
+        downloads = len(tiny_dataset.calls)
+        # Second call: store manifest exists, nothing re-fetched or rebuilt.
+        again = uci_dataset_store("tiny", tmp_path, opener=tiny_dataset)
+        assert again == store_dir
+        assert len(tiny_dataset.calls) == downloads
+
+    def test_uci_dataset_store_max_documents(self, tmp_path, tiny_dataset):
+        store_dir = uci_dataset_store(
+            "tiny", tmp_path, max_documents=2, opener=tiny_dataset
+        )
+        assert store_dir.name == "tiny-first2"
+        assert open_store(store_dir).num_documents == 2

@@ -91,3 +91,120 @@ class TestMalformedInput:
         vocab_file.write_text("only\n")
         with pytest.raises(ValueError, match="vocab file"):
             read_uci_bow(docword, vocab_file)
+
+
+class TestChunkedParsing:
+    """The parser is chunked (constant memory); chunking must be invisible."""
+
+    @pytest.fixture
+    def big_corpus(self):
+        from repro.corpus import SyntheticCorpusSpec, generate_zipf_corpus
+
+        spec = SyntheticCorpusSpec(
+            num_documents=60, vocabulary_size=50, mean_document_length=18
+        )
+        return generate_zipf_corpus(spec, seed=2)
+
+    def test_multi_chunk_identical_to_single_chunk(self, big_corpus, tmp_path):
+        docword = tmp_path / "docword.txt"
+        vocab_file = tmp_path / "vocab.txt"
+        write_uci_bow(big_corpus, docword, vocab_file)
+        one_chunk = read_uci_bow(docword, vocab_file)
+        # 37 entries per chunk forces many refills, including mid-document
+        # splits; the result must be indistinguishable.
+        many_chunks = read_uci_bow(docword, vocab_file, chunk_entries=37)
+        np.testing.assert_array_equal(
+            many_chunks.token_words, one_chunk.token_words
+        )
+        np.testing.assert_array_equal(
+            many_chunks.doc_offsets, one_chunk.doc_offsets
+        )
+        np.testing.assert_array_equal(
+            many_chunks.word_order, one_chunk.word_order
+        )
+        assert many_chunks.vocabulary == one_chunk.vocabulary
+
+    def test_chunked_max_documents(self, big_corpus, tmp_path):
+        docword = tmp_path / "docword.txt"
+        write_uci_bow(big_corpus, docword)
+        loaded = read_uci_bow(docword, max_documents=10, chunk_entries=7)
+        reference = read_uci_bow(docword, max_documents=10)
+        np.testing.assert_array_equal(
+            loaded.token_words, reference.token_words
+        )
+
+    def test_error_in_late_chunk_still_raises(self, tmp_path):
+        lines = ["4", "3", "5", "1 1 1", "2 2 1", "3 3 1", "4 1 1", "4 9 1"]
+        path = tmp_path / "docword.txt"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="word id"):
+            read_uci_bow(path, chunk_entries=2)
+
+
+class TestUciToStore:
+    """Streaming UCI -> store conversion, never holding the full corpus."""
+
+    @pytest.fixture
+    def big_corpus(self):
+        from repro.corpus import SyntheticCorpusSpec, generate_zipf_corpus
+
+        spec = SyntheticCorpusSpec(
+            num_documents=60, vocabulary_size=50, mean_document_length=18
+        )
+        return generate_zipf_corpus(spec, seed=2)
+
+    def test_store_matches_read_uci_bow(self, big_corpus, tmp_path):
+        from repro.corpus import open_store, uci_to_store
+
+        docword = tmp_path / "docword.txt"
+        vocab_file = tmp_path / "vocab.txt"
+        write_uci_bow(big_corpus, docword, vocab_file)
+        reference = read_uci_bow(docword, vocab_file)
+        store_dir = uci_to_store(
+            docword, tmp_path / "store", vocab_file, chunk_entries=37
+        )
+        corpus = open_store(store_dir)
+        np.testing.assert_array_equal(
+            corpus.token_words, reference.token_words
+        )
+        np.testing.assert_array_equal(
+            corpus.doc_offsets, reference.doc_offsets
+        )
+        np.testing.assert_array_equal(corpus.word_order, reference.word_order)
+        assert corpus.vocabulary == reference.vocabulary
+
+    def test_gap_documents_preserved(self, tmp_path):
+        from repro.corpus import open_store, uci_to_store
+
+        # Document 2 has no entries: the store must keep it empty, exactly
+        # like the in-RAM parser.
+        path = tmp_path / "docword.txt"
+        path.write_text("3\n2\n3\n1 1 1\n3 1 1\n3 2 2\n")
+        store_dir = uci_to_store(path, tmp_path / "store", chunk_entries=1)
+        corpus = open_store(store_dir)
+        reference = read_uci_bow(path)
+        assert corpus.num_documents == reference.num_documents == 3
+        np.testing.assert_array_equal(
+            corpus.doc_offsets, reference.doc_offsets
+        )
+
+    def test_unsorted_entries_rejected(self, tmp_path):
+        from repro.corpus import uci_to_store
+
+        path = tmp_path / "docword.txt"
+        path.write_text("2\n2\n2\n2 1 1\n1 1 1\n")
+        with pytest.raises(ValueError, match="ascending document id"):
+            uci_to_store(path, tmp_path / "store")
+
+    def test_max_documents(self, big_corpus, tmp_path):
+        from repro.corpus import open_store, uci_to_store
+
+        docword = tmp_path / "docword.txt"
+        write_uci_bow(big_corpus, docword)
+        store_dir = uci_to_store(docword, tmp_path / "store", max_documents=10)
+        corpus = open_store(store_dir)
+        reference = read_uci_bow(docword, max_documents=10)
+        assert corpus.num_documents == reference.num_documents
+        np.testing.assert_array_equal(
+            corpus.token_words, reference.token_words
+        )
